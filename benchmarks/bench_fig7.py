@@ -1,0 +1,52 @@
+"""Figure 7: scatter of refinement rounds and proof size.
+
+For every benchmark solved by both tools, one point (Automizer value,
+GemCutter value); correct programs are '+', incorrect 'x' in the paper.
+Shape: points on or below the diagonal, with reductions up to large
+factors for rounds and proof size.
+"""
+
+from repro.benchmarks import all_benchmarks
+from repro.harness import emit, emit_json, run_cached
+
+
+def _run():
+    points = []
+    for bench in all_benchmarks():
+        base = run_cached(bench, "baseline")
+        gem = run_cached(bench, "portfolio")
+        if base.verdict.solved and gem.verdict.solved:
+            points.append(
+                {
+                    "program": bench.name,
+                    "kind": bench.expected,
+                    "rounds": (base.rounds, gem.rounds),
+                    "proof": (base.proof_size, gem.proof_size),
+                }
+            )
+    return points
+
+
+def test_fig7_rounds_and_proof_scatter(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'program':32s} {'kind':10s} {'rounds A':>8s} {'rounds G':>8s}"
+        f" {'proof A':>8s} {'proof G':>8s}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p['program']:32s} {p['kind']:10s} "
+            f"{p['rounds'][0]:>8d} {p['rounds'][1]:>8d} "
+            f"{p['proof'][0]:>8d} {p['proof'][1]:>8d}"
+        )
+    ra = sum(p["rounds"][0] for p in points)
+    rg = sum(p["rounds"][1] for p in points)
+    pa = sum(p["proof"][0] for p in points if p["kind"] == "correct")
+    pg = sum(p["proof"][1] for p in points if p["kind"] == "correct")
+    lines.append("")
+    lines.append(f"total rounds: Automizer {ra}, GemCutter {rg}")
+    lines.append(f"total proof size (correct): Automizer {pa}, GemCutter {pg}")
+    emit("fig7", lines)
+    emit_json("fig7", points)
+    assert points
+    assert rg <= ra, "GemCutter should need no more rounds in total"

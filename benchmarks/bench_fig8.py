@@ -1,0 +1,55 @@
+"""Figure 8: which preference order is best, per benchmark.
+
+For each benchmark, the five portfolio members (seq, lockstep,
+rand(1..3)) are ranked by (solved, time); the winner's count is tallied,
+split into correct (blue, hatched) and incorrect (red) programs.
+
+Paper shape: seq wins most often, but the distribution is relatively
+even — there is no always-optimal order (§8, Limitations).
+"""
+
+from collections import Counter
+
+from repro.benchmarks import all_benchmarks
+from repro.harness import emit, emit_json, run_cached
+
+ORDERS = ("seq", "lockstep", "rand(1)", "rand(2)", "rand(3)")
+
+
+def _run():
+    winners = []
+    for bench in all_benchmarks():
+        run_cached(bench, "portfolio")  # populates the member cache
+        candidates = []
+        for order in ORDERS:
+            result = run_cached(bench, order)
+            if result.verdict.solved:
+                candidates.append((result.time_seconds, order))
+        if candidates:
+            # strict-min on time; ties keep the earliest member (seq
+            # first), mirroring a parallel portfolio's dispatch order
+            _, best = min(candidates, key=lambda c: c[0])
+            winners.append((bench.expected, best))
+    return winners
+
+
+def test_fig8_best_preference_order(benchmark):
+    winners = benchmark.pedantic(_run, rounds=1, iterations=1)
+    correct = Counter(o for kind, o in winners if kind == "correct")
+    incorrect = Counter(o for kind, o in winners if kind == "incorrect")
+    lines = [f"{'order':>10s} {'correct':>8s} {'incorrect':>10s}"]
+    for order in ORDERS:
+        lines.append(
+            f"{order:>10s} {correct.get(order, 0):>8d} {incorrect.get(order, 0):>10d}"
+        )
+    lines.append("")
+    lines.append("Paper shape: seq wins most often; distribution relatively even.")
+    emit("fig8", lines)
+    emit_json(
+        "fig8",
+        {"correct": dict(correct), "incorrect": dict(incorrect)},
+    )
+    assert winners
+    # no single order should win everything (the paper's key observation)
+    total = Counter(o for _kind, o in winners)
+    assert len(total) > 1, f"one order won everything: {total}"

@@ -1,0 +1,69 @@
+"""Table 1: Automizer (baseline) vs GemCutter (portfolio).
+
+Per suite (SV-COMP-like, Weaver-like): the number of successfully
+analysed programs (split correct/incorrect), total CPU time, total peak
+memory, and total refinement rounds.
+
+Paper shape: GemCutter solves at least as many programs with fewer
+rounds and fewer resources; the relative gain is largest on the
+Weaver-like (proof-heavy) suite.
+"""
+
+from repro.benchmarks import suite
+from repro.harness import aggregate, emit, emit_json, result_row, run_suite
+
+SUITES = ("svcomp", "weaver")
+TOOLS = ("baseline", "portfolio")
+
+
+def _run_table():
+    table = {}
+    raw = {}
+    for suite_name in SUITES:
+        benches = suite(suite_name)
+        for tool in TOOLS:
+            pairs = list(run_suite(tool, benches))
+            table[(suite_name, tool)] = aggregate(pairs, f"{suite_name}/{tool}")
+            raw[f"{suite_name}/{tool}"] = [result_row(r) for _, r in pairs]
+    return table, raw
+
+
+def test_table1_baseline_vs_gemcutter(benchmark):
+    table, raw = benchmark.pedantic(_run_table, rounds=1, iterations=1)
+    lines = [
+        f"{'':24s} {'Automizer':>28s}   {'GemCutter':>28s}",
+        f"{'':24s} {'#':>4s} {'time(s)':>8s} {'mem(MB)':>8s} {'rnds':>5s}"
+        f"   {'#':>4s} {'time(s)':>8s} {'mem(MB)':>8s} {'rnds':>5s}",
+    ]
+    for suite_name, label in (("svcomp", "SV-COMP-like"), ("weaver", "Weaver-like")):
+        base = table[(suite_name, "baseline")]
+        gem = table[(suite_name, "portfolio")]
+        for row_label, pick in (
+            ("successful", lambda a: (a.successful, a.time_seconds, a.memory_bytes / 1e6, a.rounds)),
+        ):
+            b = pick(base)
+            g = pick(gem)
+            lines.append(
+                f"{label + ' ' + row_label:24s} "
+                f"{b[0]:>4d} {b[1]:>8.1f} {b[2]:>8.1f} {b[3]:>5d}   "
+                f"{g[0]:>4d} {g[1]:>8.1f} {g[2]:>8.1f} {g[3]:>5d}"
+            )
+        lines.append(
+            f"{'  - correct':24s} {base.correct:>4d} {'':>8s} {'':>8s} {'':>5s}"
+            f"   {gem.correct:>4d}"
+        )
+        lines.append(
+            f"{'  - incorrect':24s} {base.incorrect:>4d} {'':>8s} {'':>8s} {'':>5s}"
+            f"   {gem.incorrect:>4d}"
+        )
+    emit("table1", lines)
+    emit_json("table1", raw)
+
+    # the paper's headline claims, at our scale:
+    for suite_name in SUITES:
+        base = table[(suite_name, "baseline")]
+        gem = table[(suite_name, "portfolio")]
+        assert gem.successful >= base.successful, suite_name
+    total_base = sum(table[(s, "baseline")].rounds for s in SUITES)
+    total_gem = sum(table[(s, "portfolio")].rounds for s in SUITES)
+    assert total_gem <= total_base, "GemCutter should need fewer rounds overall"

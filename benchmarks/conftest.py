@@ -1,0 +1,11 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see
+DESIGN.md §2 for the experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Reports are printed and persisted under ``benchmarks/results/``.
+Environment knobs: REPRO_BUDGET (seconds/run), REPRO_ROUNDS,
+REPRO_FULL=1 for the larger instances.
+"""

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: write a concurrent program, verify it, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Verdict, VerifierConfig, parse, verify
+
+# A tiny concurrent program in the mini language: two threads increment
+# a shared counter; the postcondition says both increments arrive.
+# Single statements are atomic letters, so this version is correct.
+SOURCE = """
+var x: int = 0;
+
+thread A { x := x + 1; }
+thread B { x := x + 1; }
+
+post: x == 2;
+"""
+
+# The broken sibling: thread B reads x into a local, then writes back —
+# the classic lost-update race.
+BROKEN = """
+var x: int = 0;
+
+thread A { x := x + 1; }
+thread B {
+    local t: int = 0;
+    t := x;
+    x := t + 1;
+}
+
+post: x == 2;
+"""
+
+
+def main() -> None:
+    print("== verifying the correct program ==")
+    program = parse(SOURCE, name="two-increments")
+    result = verify(program)
+    print(result.summary())
+    assert result.verdict == Verdict.CORRECT
+    print("proof predicates:")
+    for predicate in result.predicates:
+        print(f"  {predicate!r}")
+
+    print()
+    print("== verifying the racy program ==")
+    broken = parse(BROKEN, name="lost-update")
+    result = verify(broken, config=VerifierConfig(max_rounds=20))
+    print(result.summary())
+    assert result.verdict == Verdict.INCORRECT
+    print("counterexample interleaving:")
+    for statement in result.counterexample:
+        print(f"  {statement.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Sound sequentialization for concurrent program verification.
+
+A from-scratch Python reproduction of Farzan, Klumpp & Podelski,
+"Sound Sequentialization for Concurrent Program Verification"
+(PLDI 2022).  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the evaluation reproduction.
+
+Quickstart::
+
+    from repro import parse, verify, Verdict
+
+    program = parse('''
+        var x: int = 0;
+        thread A { x := x + 1; }
+        thread B { x := x + 1; }
+        post: x == 2;
+    ''')
+    result = verify(program)
+    assert result.verdict == Verdict.CORRECT
+"""
+
+from .lang import ConcurrentProgram, parse, parse_program
+from .core import (
+    ConditionalCommutativity,
+    FullCommutativity,
+    LockstepOrder,
+    RandomOrder,
+    ReducedProduct,
+    SemanticCommutativity,
+    SyntacticCommutativity,
+    ThreadUniformOrder,
+    reduce_program,
+)
+from .verifier import (
+    Verdict,
+    VerificationResult,
+    VerifierConfig,
+    verify,
+    verify_portfolio,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcurrentProgram",
+    "parse",
+    "parse_program",
+    "ConditionalCommutativity",
+    "FullCommutativity",
+    "LockstepOrder",
+    "RandomOrder",
+    "ReducedProduct",
+    "SemanticCommutativity",
+    "SyntacticCommutativity",
+    "ThreadUniformOrder",
+    "reduce_program",
+    "Verdict",
+    "VerificationResult",
+    "VerifierConfig",
+    "verify",
+    "verify_portfolio",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Finite automata: explicit DFAs and on-the-fly (lazy) automata."""
+
+from .dfa import DFA, Letter, State
+from .lazy import (
+    ExplorationLimit,
+    LazyDFA,
+    MappedLazyDFA,
+    count_reachable_states,
+    explore,
+    materialize,
+    shortest_accepted_word,
+)
+
+__all__ = [
+    "DFA",
+    "Letter",
+    "State",
+    "ExplorationLimit",
+    "LazyDFA",
+    "MappedLazyDFA",
+    "count_reachable_states",
+    "explore",
+    "materialize",
+    "shortest_accepted_word",
+]

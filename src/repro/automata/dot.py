@@ -1,0 +1,46 @@
+"""Graphviz DOT export for automata (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .dfa import DFA, State
+
+
+def _default_state_label(state: State) -> str:
+    return str(state)
+
+
+def _default_letter_label(letter) -> str:
+    label = getattr(letter, "label", None)
+    return label if label is not None else str(letter)
+
+
+def to_dot(
+    dfa: DFA,
+    *,
+    name: str = "automaton",
+    state_label: Callable[[State], str] | None = None,
+    letter_label: Callable[[object], str] | None = None,
+) -> str:
+    """Render the reachable part of *dfa* as a Graphviz digraph."""
+    state_label = state_label or _default_state_label
+    letter_label = letter_label or _default_letter_label
+    states = sorted(dfa.states(), key=repr)
+    index = {q: i for i, q in enumerate(states)}
+    lines = [f"digraph \"{name}\" {{", "  rankdir=LR;", "  node [shape=circle];"]
+    for q in states:
+        shape = "doublecircle" if q in dfa.finals else "circle"
+        label = state_label(q).replace('"', "'")
+        lines.append(f'  n{index[q]} [shape={shape}, label="{label}"];')
+    lines.append("  init [shape=point];")
+    lines.append(f"  init -> n{index[dfa.initial]};")
+    for (src, letter), dst in sorted(
+        dfa.transitions.items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
+    ):
+        if src not in index or dst not in index:
+            continue
+        label = letter_label(letter).replace('"', "'")
+        lines.append(f'  n{index[src]} -> n{index[dst]} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""On-the-fly automata.
+
+The interleaving product of a concurrent program — and every reduction
+automaton layered on top of it — is exponentially large, so the pipeline
+never builds it eagerly.  A :class:`LazyDFA` exposes only the initial
+state, per-state successors, and the acceptance predicate; exploration
+(:func:`explore`, :func:`materialize`, :func:`shortest_accepted_word`)
+constructs exactly the states that are visited.  This realizes the
+paper's "on the fly" constructions (§6, §7.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Iterator, Protocol
+
+from .dfa import DFA, Letter, State
+
+
+class LazyDFA(Protocol):
+    """The on-the-fly automaton interface."""
+
+    def initial_state(self) -> State:
+        """The initial state."""
+
+    def successors(self, state: State) -> Iterable[tuple[Letter, State]]:
+        """Outgoing edges of *state*, as (letter, successor) pairs."""
+
+    def is_accepting(self, state: State) -> bool:
+        """Acceptance predicate."""
+
+
+class ExplorationLimit(Exception):
+    """Raised when on-the-fly exploration exceeds its state budget."""
+
+
+def explore(
+    automaton: LazyDFA, *, max_states: int | None = None
+) -> tuple[set[State], dict[tuple[State, Letter], State]]:
+    """Breadth-first reachability; returns (states, transitions)."""
+    initial = automaton.initial_state()
+    seen: set[State] = {initial}
+    transitions: dict[tuple[State, Letter], State] = {}
+    queue: deque[State] = deque([initial])
+    while queue:
+        q = queue.popleft()
+        for a, q2 in automaton.successors(q):
+            transitions[(q, a)] = q2
+            if q2 not in seen:
+                seen.add(q2)
+                if max_states is not None and len(seen) > max_states:
+                    raise ExplorationLimit(
+                        f"exceeded {max_states} states during exploration"
+                    )
+                queue.append(q2)
+    return seen, transitions
+
+
+def materialize(
+    automaton: LazyDFA,
+    alphabet: Iterable[Letter],
+    *,
+    max_states: int | None = None,
+) -> DFA:
+    """Materialize the reachable part of a lazy automaton as a DFA."""
+    states, transitions = explore(automaton, max_states=max_states)
+    finals = frozenset(q for q in states if automaton.is_accepting(q))
+    return DFA(
+        alphabet=frozenset(alphabet),
+        transitions=transitions,
+        initial=automaton.initial_state(),
+        finals=finals,
+    )
+
+
+def count_reachable_states(
+    automaton: LazyDFA, *, max_states: int | None = None
+) -> int:
+    states, _ = explore(automaton, max_states=max_states)
+    return len(states)
+
+
+def shortest_accepted_word(
+    automaton: LazyDFA, *, max_states: int | None = None
+) -> tuple[Letter, ...] | None:
+    """BFS for a shortest accepted word; ``None`` if the language is empty."""
+    initial = automaton.initial_state()
+    if automaton.is_accepting(initial):
+        return ()
+    seen: set[State] = {initial}
+    queue: deque[tuple[State, tuple[Letter, ...]]] = deque([(initial, ())])
+    while queue:
+        q, word = queue.popleft()
+        for a, q2 in automaton.successors(q):
+            if q2 in seen:
+                continue
+            seen.add(q2)
+            if max_states is not None and len(seen) > max_states:
+                raise ExplorationLimit(
+                    f"exceeded {max_states} states during search"
+                )
+            extended = word + (a,)
+            if automaton.is_accepting(q2):
+                return extended
+            queue.append((q2, extended))
+    return None
+
+
+class MappedLazyDFA:
+    """A lazy DFA built from plain callables (adapter / testing helper)."""
+
+    def __init__(
+        self,
+        initial: State,
+        successors: Callable[[State], Iterable[tuple[Letter, State]]],
+        accepting: Callable[[State], bool],
+    ) -> None:
+        self._initial = initial
+        self._successors = successors
+        self._accepting = accepting
+
+    def initial_state(self) -> State:
+        return self._initial
+
+    def successors(self, state: State) -> Iterable[tuple[Letter, State]]:
+        return self._successors(state)
+
+    def is_accepting(self, state: State) -> bool:
+        return self._accepting(state)

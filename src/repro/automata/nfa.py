@@ -1,0 +1,198 @@
+"""Nondeterministic finite automata with determinization.
+
+The verification pipeline itself is DFA-based (the product and all
+reductions are deterministic), but NFAs arise naturally when *composing*
+specifications — e.g. taking the union of per-thread error languages, or
+building the complement of a Floyd/Hoare automaton's coverage — and the
+test oracles use them to cross-check DFA algebra.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from .dfa import DFA, Letter, State
+
+EPSILON = ("__epsilon__",)
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A nondeterministic automaton, with optional ε-transitions.
+
+    ``transitions`` maps (state, letter) to a set of successors; the
+    special letter :data:`EPSILON` marks ε-moves.
+    """
+
+    alphabet: frozenset[Letter]
+    transitions: Mapping[tuple[State, Letter], frozenset[State]]
+    initials: frozenset[State]
+    finals: frozenset[State]
+
+    @staticmethod
+    def build(
+        alphabet: Iterable[Letter],
+        transitions: Mapping[tuple[State, Letter], Iterable[State]],
+        initials: Iterable[State],
+        finals: Iterable[State],
+    ) -> "NFA":
+        return NFA(
+            alphabet=frozenset(alphabet),
+            transitions={
+                key: frozenset(dsts) for key, dsts in transitions.items()
+            },
+            initials=frozenset(initials),
+            finals=frozenset(finals),
+        )
+
+    @staticmethod
+    def of_dfa(dfa: DFA) -> "NFA":
+        return NFA(
+            alphabet=dfa.alphabet,
+            transitions={
+                key: frozenset({dst}) for key, dst in dfa.transitions.items()
+            },
+            initials=frozenset({dfa.initial}),
+            finals=dfa.finals,
+        )
+
+    # -- semantics ------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        closure: set[State] = set(states)
+        queue: deque[State] = deque(closure)
+        while queue:
+            q = queue.popleft()
+            for nxt in self.transitions.get((q, EPSILON), ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    queue.append(nxt)
+        return frozenset(closure)
+
+    def step_set(self, states: Iterable[State], letter: Letter) -> frozenset[State]:
+        out: set[State] = set()
+        for q in states:
+            out |= self.transitions.get((q, letter), frozenset())
+        return self.epsilon_closure(out)
+
+    def accepts(self, word: Sequence[Letter]) -> bool:
+        current = self.epsilon_closure(self.initials)
+        for letter in word:
+            current = self.step_set(current, letter)
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+    # -- algebra -----------------------------------------------------------------
+
+    def determinize(self) -> DFA:
+        """Subset construction (only reachable subsets are built)."""
+        initial = self.epsilon_closure(self.initials)
+        transitions: dict[tuple[State, Letter], State] = {}
+        finals: set[State] = set()
+        seen: set[frozenset[State]] = {initial}
+        queue: deque[frozenset[State]] = deque([initial])
+        while queue:
+            subset = queue.popleft()
+            if subset & self.finals:
+                finals.add(subset)
+            for letter in self.alphabet:
+                nxt = self.step_set(subset, letter)
+                if not nxt:
+                    continue
+                transitions[(subset, letter)] = nxt
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return DFA(
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=initial,
+            finals=frozenset(finals),
+        )
+
+    def union(self, other: "NFA") -> "NFA":
+        """Language union via disjoint tagging."""
+        def tag(side: int, state: State) -> State:
+            return (side, state)
+
+        transitions: dict[tuple[State, Letter], frozenset[State]] = {}
+        for side, nfa in ((0, self), (1, other)):
+            for (q, a), dsts in nfa.transitions.items():
+                transitions[(tag(side, q), a)] = frozenset(
+                    tag(side, d) for d in dsts
+                )
+        return NFA(
+            alphabet=self.alphabet | other.alphabet,
+            transitions=transitions,
+            initials=frozenset(
+                {tag(0, q) for q in self.initials}
+                | {tag(1, q) for q in other.initials}
+            ),
+            finals=frozenset(
+                {tag(0, q) for q in self.finals}
+                | {tag(1, q) for q in other.finals}
+            ),
+        )
+
+    def concat(self, other: "NFA") -> "NFA":
+        """Language concatenation via ε-moves from finals to initials."""
+        def tag(side: int, state: State) -> State:
+            return (side, state)
+
+        transitions: dict[tuple[State, Letter], frozenset[State]] = {}
+        for side, nfa in ((0, self), (1, other)):
+            for (q, a), dsts in nfa.transitions.items():
+                transitions[(tag(side, q), a)] = frozenset(
+                    tag(side, d) for d in dsts
+                )
+        for q in self.finals:
+            key = (tag(0, q), EPSILON)
+            existing = transitions.get(key, frozenset())
+            transitions[key] = existing | frozenset(
+                tag(1, i) for i in other.initials
+            )
+        return NFA(
+            alphabet=self.alphabet | other.alphabet,
+            transitions=transitions,
+            initials=frozenset(tag(0, q) for q in self.initials),
+            finals=frozenset(tag(1, q) for q in other.finals),
+        )
+
+    def star(self) -> "NFA":
+        """Kleene star via a fresh ε-connected initial/final state."""
+        fresh: State = ("__star__",)
+        transitions: dict[tuple[State, Letter], frozenset[State]] = {
+            key: dsts for key, dsts in self.transitions.items()
+        }
+        transitions[(fresh, EPSILON)] = frozenset(self.initials)
+        for q in self.finals:
+            key = (q, EPSILON)
+            transitions[key] = transitions.get(key, frozenset()) | {fresh}
+        return NFA(
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initials=frozenset({fresh}),
+            finals=frozenset({fresh}),
+        )
+
+    def reverse(self) -> "NFA":
+        """The reversal language (used by Brzozowski-style minimization)."""
+        transitions: dict[tuple[State, Letter], set[State]] = {}
+        for (q, a), dsts in self.transitions.items():
+            for d in dsts:
+                transitions.setdefault((d, a), set()).add(q)
+        return NFA(
+            alphabet=self.alphabet,
+            transitions={k: frozenset(v) for k, v in transitions.items()},
+            initials=self.finals,
+            finals=self.initials,
+        )
+
+
+def brzozowski_minimize(dfa: DFA) -> DFA:
+    """Minimization by double reversal (cross-check for Hopcroft)."""
+    once = NFA.of_dfa(dfa).reverse().determinize()
+    return NFA.of_dfa(once).reverse().determinize()

@@ -1,0 +1,13 @@
+"""Benchmark program generators (the evaluation corpora substitute)."""
+
+from .bluetooth import bluetooth
+from .suite import Benchmark, all_benchmarks, by_name, iter_programs, suite
+
+__all__ = [
+    "bluetooth",
+    "Benchmark",
+    "all_benchmarks",
+    "by_name",
+    "iter_programs",
+    "suite",
+]

@@ -1,0 +1,78 @@
+"""Array/heap benchmark families (the §7.2 aliasing scenario).
+
+The paper's motivating case for proof-sensitive commutativity with
+memory: writes through different pointers commute once the proof knows
+the pointers do not alias.  These generators model the heap as a shared
+integer array (as GemCutter does, §8).
+"""
+
+from __future__ import annotations
+
+from ..lang import ConcurrentProgram, parse
+
+
+def parallel_init(num_threads: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Each thread initializes its own cell of a shared array.
+
+    Post: every cell holds its owner's value.  Buggy variant: two
+    threads share a cell (seeded aliasing bug).
+    """
+    threads = []
+    for t in range(num_threads):
+        cell = t if correct or t != num_threads - 1 else 0
+        threads.append(f"thread W{t} {{ h[{cell}] := {t + 100}; }}")
+    post = " && ".join(f"h[{t}] == {t + 100}" for t in range(num_threads - 1))
+    # the last cell is only claimed in the correct variant
+    if correct:
+        post += f" && h[{num_threads - 1}] == {num_threads - 1 + 100}"
+    src = f"""
+var h: int[];
+{chr(10).join(threads)}
+post: {post};
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"parallel-init({num_threads}){suffix}")
+
+
+def pointer_handoff(*, correct: bool = True) -> ConcurrentProgram:
+    """A writer publishes a pointer; a reader dereferences it.
+
+    The proof needs the non-aliasing fact ``p != q`` from the
+    precondition.  Buggy variant: the pointers may alias.
+    """
+    q_init = 1 if correct else 0
+    src = f"""
+var h: int[];
+var p: int = 0;
+var q: int = {q_init};
+thread Writer {{ h[p] := 7; assert h[p] == 7; }}
+thread Scribbler {{ h[q] := 9; }}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"pointer-handoff{suffix}")
+
+
+def shared_buffer(num_producers: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Producers append to disjoint slots guarded by a reservation
+    counter; a consumer checks its slot.
+
+    Buggy variant: the slot reservation is not atomic.
+    """
+    if correct:
+        reserve = "atomic { slot := next; next := next + 1; }"
+    else:
+        reserve = "slot := next; next := next + 1;"
+    zeroed = " && ".join(f"h[{k}] == 0" for k in range(num_producers))
+    src = f"""
+var h: int[];
+var next: int = 0;
+pre: {zeroed};
+thread Producer[{num_producers}] {{
+    local slot: int = 0;
+    {reserve}
+    h[slot] := h[slot] + 1;
+    assert h[slot] == 1;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"shared-buffer({num_producers}){suffix}")

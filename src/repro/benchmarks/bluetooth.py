@@ -1,0 +1,75 @@
+"""The bluetooth driver benchmark (§2, Figure 1).
+
+A corrected version of the classical KISS bluetooth example: ``n`` user
+threads enter/exit the driver in a loop while a stopper thread shuts it
+down.  The assertion (in one user thread, by symmetry) states that a
+user inside the driver never observes the driver stopped.
+
+The buggy variant reverts the fix: the stopper clears ``pendingIo``
+*before* raising ``stoppingFlag``, so a user can slip in after the
+close — the bug KISS originally found.
+"""
+
+from __future__ import annotations
+
+from ..lang import ConcurrentProgram, parse
+
+_USER_MONITOR = """
+thread UserMon {
+  while (*) {
+    atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+    assert !stopped;
+    atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+  }
+}
+"""
+
+_USER_PLAIN = """
+thread User[%d] {
+  while (*) {
+    atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+    atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+  }
+}
+"""
+
+_DECLS = """
+var pendingIo: int = 1;
+var stoppingFlag: bool = false;
+var stoppingEvent: bool = false;
+var stopped: bool = false;
+"""
+
+_STOP_CORRECT = """
+thread Stop {
+  stoppingFlag := true;
+  atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+  assume stoppingEvent;
+  stopped := true;
+}
+"""
+
+# the original (buggy) driver: Close runs before the flag is raised,
+# so a user can still enter while the driver is shutting down
+_STOP_BUGGY = """
+thread Stop {
+  atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+  stoppingFlag := true;
+  assume stoppingEvent;
+  stopped := true;
+}
+"""
+
+
+def bluetooth(num_users: int, *, correct: bool = True) -> ConcurrentProgram:
+    """The driver with *num_users* user threads (one carries the assert)."""
+    if num_users < 1:
+        raise ValueError("need at least one user thread")
+    parts = [_DECLS, _USER_MONITOR]
+    if num_users > 1:
+        parts.append(_USER_PLAIN % (num_users - 1))
+    parts.append(_STOP_CORRECT if correct else _STOP_BUGGY)
+    suffix = "" if correct else "-bug"
+    return parse(
+        "".join(parts), name=f"bluetooth({num_users}){suffix}"
+    )

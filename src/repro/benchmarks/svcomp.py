@@ -1,0 +1,254 @@
+"""SV-COMP-style synthetic benchmark families.
+
+These stand in for the SV-COMP ConcurrencySafety corpus (see DESIGN.md
+§3): classic shared-memory patterns — locks, counters, handshakes,
+Peterson's algorithm, bank accounts — in correct and seeded-bug
+variants.  Like the real corpus, the suite is dominated by bug-finding
+tasks.
+
+Every generator returns a :class:`repro.lang.ConcurrentProgram`; the
+registry in :mod:`repro.benchmarks.suite` instantiates the default
+sizes.
+"""
+
+from __future__ import annotations
+
+from ..lang import ConcurrentProgram, parse
+
+
+def mutex_atomic(num_threads: int, *, correct: bool = True) -> ConcurrentProgram:
+    """A test-and-set spinlock protecting a critical section.
+
+    Buggy variant: the test and the set are not atomic, so two threads
+    can both acquire the lock.
+    """
+    if correct:
+        acquire = "atomic { assume !lock; lock := true; }"
+    else:
+        acquire = "assume !lock; lock := true;"
+    src = f"""
+var lock: bool = false;
+var critical: int = 0;
+thread Worker[{num_threads}] {{
+    {acquire}
+    critical := critical + 1;
+    assert critical == 1;
+    critical := critical - 1;
+    lock := false;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"mutex-atomic({num_threads}){suffix}")
+
+
+def counter_sum(num_threads: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Threads atomically add 1 to a counter; post: counter == n.
+
+    Buggy variant: one thread performs a non-atomic read-modify-write
+    through a local temporary (the classic lost update).
+    """
+    racy = """
+thread Racy {
+    local t: int = 0;
+    t := counter;
+    counter := t + 1;
+}
+"""
+    src = f"""
+var counter: int = 0;
+thread Adder[{num_threads - 1 if not correct else num_threads}] {{
+    counter := counter + 1;
+}}
+{racy if not correct else ""}
+post: counter == {num_threads};
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"counter-sum({num_threads}){suffix}")
+
+
+def producer_consumer(depth: int, *, correct: bool = True) -> ConcurrentProgram:
+    """A chain of flag handshakes passing a value along *depth* stages.
+
+    Buggy variant: the last consumer forgets to wait for its flag.
+    """
+    decls = ["var data: int = 0;"]
+    threads = []
+    for i in range(depth):
+        decls.append(f"var ready{i}: bool = false;")
+    threads.append(
+        f"thread Producer {{ data := 7; ready0 := true; }}"
+    )
+    for i in range(1, depth):
+        threads.append(
+            f"thread Stage{i} {{ assume ready{i - 1}; ready{i} := true; }}"
+        )
+    guard = f"assume ready{depth - 1}; " if correct else ""
+    threads.append(
+        f"thread Consumer {{ {guard}assert data == 7; }}"
+    )
+    suffix = "" if correct else "-bug"
+    return parse(
+        "\n".join(decls + threads),
+        name=f"producer-consumer({depth}){suffix}",
+    )
+
+
+def bank_account(num_clients: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Withdrawers debit a shared balance while a depositor credits it;
+    the balance must never go negative.
+
+    Buggy variant: the sufficient-funds check and the debit are not
+    atomic, so two withdrawers can both pass the check on the last unit
+    (a time-of-check/time-of-use race).
+    """
+    if correct:
+        withdraw = "atomic { assume balance >= 1; balance := balance - 1; }"
+    else:
+        withdraw = "assume balance >= 1; balance := balance - 1;"
+    src = f"""
+var balance: int = 1;
+thread Depositor {{
+    while (*) {{ atomic {{ balance := balance + 1; }} }}
+}}
+thread Withdrawer[{num_clients}] {{
+    {withdraw}
+}}
+thread Auditor {{
+    assert balance >= 0;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"bank-account({num_clients}){suffix}")
+
+
+def peterson(*, correct: bool = True) -> ConcurrentProgram:
+    """Peterson's mutual exclusion (2 threads).
+
+    Buggy variant: thread B spins on the wrong condition (checks its own
+    flag instead of A's), so both can be in the critical section.
+    """
+    b_wait = (
+        "assume flagA == 0 || turn == 1;"
+        if correct
+        else "assume flagB == 1 || turn == 1;"
+    )
+    src = f"""
+var flagA: int = 0;
+var flagB: int = 0;
+var turn: int = 0;
+var inCS: int = 0;
+thread A {{
+    flagA := 1;
+    turn := 1;
+    assume flagB == 0 || turn == 0;
+    inCS := inCS + 1;
+    assert inCS == 1;
+    inCS := inCS - 1;
+    flagA := 0;
+}}
+thread B {{
+    flagB := 1;
+    turn := 0;
+    {b_wait}
+    inCS := inCS + 1;
+    inCS := inCS - 1;
+    flagB := 0;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"peterson{suffix}")
+
+
+def ticket_lock(num_threads: int, *, correct: bool = True) -> ConcurrentProgram:
+    """A ticket lock: take a ticket, wait for your number.
+
+    Buggy variant: ticket take is not atomic (two threads can get the
+    same ticket).
+    """
+    if correct:
+        take = "atomic { t := next; next := next + 1; }"
+    else:
+        take = "t := next; next := next + 1;"
+    src = f"""
+var next: int = 0;
+var serving: int = 0;
+var inCS: int = 0;
+thread Worker[{num_threads}] {{
+    local t: int = 0;
+    {take}
+    assume serving == t;
+    inCS := inCS + 1;
+    assert inCS == 1;
+    inCS := inCS - 1;
+    serving := serving + 1;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"ticket-lock({num_threads}){suffix}")
+
+
+def flag_barrier(num_workers: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Workers signal arrival; a checker waits for all before reading.
+
+    Buggy variant: the checker only waits for the first worker.
+    """
+    decls = ["var done: int = 0;", "var result: int = 0;"]
+    threads = [
+        f"thread Worker[{num_workers}] {{ result := result + 1; done := done + 1; }}"
+    ]
+    wait = f"assume done == {num_workers};" if correct else "assume done >= 1;"
+    threads.append(
+        f"thread Checker {{ {wait} assert result >= {num_workers}; }}"
+    )
+    suffix = "" if correct else "-bug"
+    return parse(
+        "\n".join(decls + threads), name=f"flag-barrier({num_workers}){suffix}"
+    )
+
+
+def reorder(num_setters: int, *, correct: bool = True) -> ConcurrentProgram:
+    """Message-passing publication: init data, then publish the pointer.
+
+    Buggy variant publishes before initializing (the classic reorder
+    bug shape from SV-COMP's ``reorder_*`` tasks).
+    """
+    if correct:
+        body = "data := 1; published := true;"
+    else:
+        body = "published := true; data := 1;"
+    src = f"""
+var data: int = 0;
+var published: bool = false;
+thread Setter[{num_setters}] {{
+    {body}
+}}
+thread Reader {{
+    assume published;
+    assert data == 1;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"reorder({num_setters}){suffix}")
+
+
+def increment_decrement(rounds: int, *, correct: bool = True) -> ConcurrentProgram:
+    """One thread increments, one decrements, both atomically guarded to
+    keep 0 <= x <= bound; an observer asserts the invariant.
+
+    Buggy variant drops the lower guard.
+    """
+    dec_guard = "assume x >= 1; " if correct else ""
+    src = f"""
+var x: int = 0;
+thread Inc {{
+    while (*) {{ atomic {{ assume x <= {rounds - 1}; x := x + 1; }} }}
+}}
+thread Dec {{
+    while (*) {{ atomic {{ {dec_guard}x := x - 1; }} }}
+}}
+thread Observer {{
+    assert x >= 0;
+}}
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"inc-dec({rounds}){suffix}")

@@ -1,0 +1,158 @@
+"""Weaver-style benchmark families.
+
+The Weaver suite [15] consists (almost) entirely of *correct* concurrent
+programs whose proofs need non-trivial relational invariants — good
+stress tests for proof *finding*.  These generators follow that spirit:
+token passing, lockstep-friendly counter relations, bounded phase
+protocols.  Like the original suite (182 correct / 1 incorrect), all
+families here are correct except one seeded bug.
+"""
+
+from __future__ import annotations
+
+from ..lang import ConcurrentProgram, parse
+
+
+def token_ring(num_threads: int, *, correct: bool = True) -> ConcurrentProgram:
+    """A token travels around a ring; every holder increments a counter.
+
+    Post: the counter equals the ring size.  The proof must track the
+    token position against the partial count.  Buggy variant: one stage
+    forgets to increment.
+    """
+    threads = []
+    for i in range(num_threads):
+        nxt = (i + 1) % num_threads
+        bump = "count := count + 1; " if (correct or i != 1) else ""
+        threads.append(
+            f"thread Ring{i} {{ assume token == {i}; {bump}token := {nxt}; }}"
+        )
+    src = f"""
+var token: int = 0;
+var count: int = 0;
+{chr(10).join(threads)}
+post: count == {num_threads};
+"""
+    suffix = "" if correct else "-bug"
+    return parse(src, name=f"token-ring({num_threads}){suffix}")
+
+
+def lockstep_counters(bound: int) -> ConcurrentProgram:
+    """Two threads alternate under a turn variable; their counters stay
+    in lockstep.  Post: x == y.  A lockstep preference order makes the
+    representative interleaving trivial to annotate.
+    """
+    src = f"""
+var x: int = 0;
+var y: int = 0;
+var turn: int = 0;
+thread A {{
+    while (*) {{
+        atomic {{ assume turn == 0; assume x <= {bound}; x := x + 1; turn := 1; }}
+    }}
+}}
+thread B {{
+    while (*) {{
+        atomic {{ assume turn == 1; y := y + 1; turn := 0; }}
+    }}
+}}
+thread Check {{
+    atomic {{ assume turn == 0; assert x == y; }}
+}}
+"""
+    return parse(src, name=f"lockstep-counters({bound})")
+
+
+def phase_protocol(num_workers: int) -> ConcurrentProgram:
+    """Workers advance through explicit phases; a monitor asserts that
+    the finished count never exceeds the started count.
+    """
+    src = f"""
+var started: int = 0;
+var finished: int = 0;
+thread Worker[{num_workers}] {{
+    atomic {{ started := started + 1; }}
+    atomic {{ finished := finished + 1; }}
+}}
+thread Monitor {{
+    assert finished <= started;
+}}
+"""
+    return parse(src, name=f"phase-protocol({num_workers})")
+
+
+def chunked_sum(num_threads: int) -> ConcurrentProgram:
+    """Each thread contributes a fixed chunk to a shared total.
+
+    Post: the total is the sum of the chunks — the counting argument the
+    sequential-composition order handles well.
+    """
+    threads = "\n".join(
+        f"thread Add{i} {{ total := total + {i + 1}; }}"
+        for i in range(num_threads)
+    )
+    expected = num_threads * (num_threads + 1) // 2
+    src = f"""
+var total: int = 0;
+{threads}
+post: total == {expected};
+"""
+    return parse(src, name=f"chunked-sum({num_threads})")
+
+
+def max_of_proposals(num_threads: int) -> ConcurrentProgram:
+    """Threads fold their proposals into a running maximum.
+
+    Post: the maximum dominates every proposal.
+    """
+    threads = "\n".join(
+        f"thread P{i} {{ atomic {{ if (best < {i + 1}) {{ best := {i + 1}; }} }} }}"
+        for i in range(num_threads)
+    )
+    src = f"""
+var best: int = 0;
+{threads}
+post: best >= {num_threads};
+"""
+    return parse(src, name=f"max-proposals({num_threads})")
+
+
+def handoff_chain(depth: int) -> ConcurrentProgram:
+    """A value is incremented as it is handed from stage to stage.
+
+    Post: the final value equals the chain depth — requires tracking the
+    stage/value correlation through the handoff protocol.
+    """
+    threads = []
+    for i in range(depth):
+        threads.append(
+            f"thread Stage{i} {{ assume stage == {i}; value := value + 1; stage := {i + 1}; }}"
+        )
+    src = f"""
+var stage: int = 0;
+var value: int = 0;
+{chr(10).join(threads)}
+post: value == {depth};
+"""
+    return parse(src, name=f"handoff-chain({depth})")
+
+
+def balanced_workers(num_pairs: int) -> ConcurrentProgram:
+    """Producer/consumer pairs keep a work queue counter balanced.
+
+    The monitor asserts the queue never goes negative — the invariant
+    relates all producers' and consumers' progress.
+    """
+    src = f"""
+var queue: int = 0;
+thread Producer[{num_pairs}] {{
+    while (*) {{ atomic {{ queue := queue + 1; }} }}
+}}
+thread Consumer[{num_pairs}] {{
+    while (*) {{ atomic {{ assume queue >= 1; queue := queue - 1; }} }}
+}}
+thread Monitor {{
+    assert queue >= 0;
+}}
+"""
+    return parse(src, name=f"balanced-workers({num_pairs})")

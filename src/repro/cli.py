@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Usage (after installation)::
+
+    python -m repro verify FILE [--order seq|lockstep|rand:N] [--mode ...]
+    python -m repro portfolio FILE
+    python -m repro reduce FILE [--order ...] [--dot out.dot]
+    python -m repro check FILE          # parse + static sanity only
+    python -m repro bench-list          # registry overview
+
+``FILE`` contains a program in the mini concurrent language (see
+README.md / `examples/`).  Use ``-`` for stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .automata import count_reachable_states, materialize
+from .automata.dot import to_dot
+from .core import (
+    ConditionalCommutativity,
+    LockstepOrder,
+    RandomOrder,
+    SyntacticCommutativity,
+    ThreadUniformOrder,
+    reduce_program,
+)
+from .lang import ConcurrentProgram, ParseError, parse
+from .logic import Solver
+from .verifier import VerifierConfig, verify, verify_portfolio
+
+
+def _read_program(path: str) -> ConcurrentProgram:
+    if path == "-":
+        source = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        source = Path(path).read_text()
+        name = Path(path).stem
+    return parse(source, name=name)
+
+
+def _make_order(spec: str, program: ConcurrentProgram):
+    if spec == "seq":
+        return ThreadUniformOrder()
+    if spec == "lockstep":
+        return LockstepOrder(len(program.threads))
+    if spec.startswith("rand:"):
+        return RandomOrder(program.alphabet(), int(spec.split(":", 1)[1]))
+    raise SystemExit(f"unknown order {spec!r} (use seq, lockstep, or rand:N)")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    program = _read_program(args.file)
+    order = _make_order(args.order, program)
+    solver = Solver()
+    config = VerifierConfig(
+        mode=args.mode,
+        proof_sensitive=not args.no_proof_sensitive,
+        search=args.search,
+        max_rounds=args.max_rounds,
+        time_budget=args.timeout,
+        simplify_proof=args.show_proof,
+    )
+    if args.per_thread:
+        from .verifier import combine_verdicts, verify_each_thread
+
+        results = verify_each_thread(
+            program, order, ConditionalCommutativity(solver), config=config
+        )
+        for member in results:
+            print(f"  {member.summary()}")
+        verdict = combine_verdicts(results)
+        print(f"combined: {verdict.value}")
+        return 0 if verdict.solved else 1
+    result = verify(
+        program, order, ConditionalCommutativity(solver), config=config,
+        solver=solver,
+    )
+    print(result.summary())
+    if result.counterexample is not None:
+        print("counterexample:")
+        for statement in result.counterexample:
+            print(f"  {statement.label}")
+    if args.show_proof and result.predicates:
+        print("proof predicates:")
+        for predicate in result.predicates:
+            print(f"  {predicate!r}")
+    return 0 if result.verdict.solved else 1
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    program = _read_program(args.file)
+    config = VerifierConfig(max_rounds=args.max_rounds, time_budget=args.timeout)
+    outcome = verify_portfolio(program, config=config)
+    for member in outcome.members:
+        print(f"  {member.summary()}")
+    aggregated = outcome.aggregate()
+    print(aggregated.summary())
+    return 0 if aggregated.verdict.solved else 1
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    program = _read_program(args.file)
+    order = _make_order(args.order, program)
+    relation = SyntacticCommutativity()
+    full = count_reachable_states(
+        program.product_view("both"), max_states=args.max_states
+    )
+    print(f"program size (locations): {program.size}")
+    print(f"full product states:      {full}")
+    for mode in ("sleep", "persistent", "combined"):
+        reduced = reduce_program(program, order, relation, mode=mode)
+        states = count_reachable_states(reduced, max_states=args.max_states)
+        print(f"{mode:10s} reduction:     {states}")
+    if args.dot:
+        reduced = reduce_program(program, order, relation, mode="combined")
+        dfa = materialize(reduced, program.alphabet(), max_states=args.max_states)
+        dot = to_dot(
+            dfa,
+            name=program.name,
+            state_label=lambda s: str(s[0]),
+            letter_label=lambda a: a.label,
+        )
+        Path(args.dot).write_text(dot)
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        program = _read_program(args.file)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{program.name}: {len(program.threads)} threads, "
+          f"size {program.size}, |Σ| = {len(program.alphabet())}, "
+          f"asserts: {'yes' if program.has_asserts() else 'no'}")
+    return 0
+
+
+def _cmd_bench_list(_args: argparse.Namespace) -> int:
+    from .benchmarks import all_benchmarks
+
+    for bench in all_benchmarks():
+        print(f"{bench.suite:8s} {bench.expected:10s} {bench.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sound sequentialization for concurrent program verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="program file ('-' for stdin)")
+        p.add_argument("--max-rounds", type=int, default=60)
+        p.add_argument("--timeout", type=float, default=None, help="seconds")
+
+    p_verify = sub.add_parser("verify", help="verify a program")
+    common(p_verify)
+    p_verify.add_argument("--order", default="seq")
+    p_verify.add_argument(
+        "--mode", default="combined",
+        choices=("combined", "sleep", "persistent", "none"),
+    )
+    p_verify.add_argument("--search", default="bfs", choices=("bfs", "dfs"))
+    p_verify.add_argument("--no-proof-sensitive", action="store_true")
+    p_verify.add_argument("--show-proof", action="store_true")
+    p_verify.add_argument(
+        "--per-thread", action="store_true",
+        help="analyse each thread's asserts separately (footnote 4)",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_portfolio = sub.add_parser(
+        "portfolio", help="verify with the 5-order portfolio"
+    )
+    common(p_portfolio)
+    p_portfolio.set_defaults(func=_cmd_portfolio)
+
+    p_reduce = sub.add_parser(
+        "reduce", help="report reduction automaton sizes"
+    )
+    p_reduce.add_argument("file")
+    p_reduce.add_argument("--order", default="seq")
+    p_reduce.add_argument("--max-states", type=int, default=200_000)
+    p_reduce.add_argument("--dot", help="write the reduction DFA as DOT")
+    p_reduce.set_defaults(func=_cmd_reduce)
+
+    p_check = sub.add_parser("check", help="parse and report program stats")
+    p_check.add_argument("file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_list = sub.add_parser("bench-list", help="list the benchmark registry")
+    p_list.set_defaults(func=_cmd_bench_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's core: commutativity, preference orders, and reductions."""
+
+from .commutativity import (
+    CommutativityRelation,
+    ConditionalCommutativity,
+    FullCommutativity,
+    ProofSensitiveAdapter,
+    SemanticCommutativity,
+    SyntacticCommutativity,
+    composition_equal_condition,
+)
+from .mazurkiewicz import (
+    enumerate_class,
+    equivalent,
+    foata_normal_form,
+    partition_into_classes,
+)
+from .membrane import is_membrane, is_weakly_persistent
+from .persistent import PersistentSetProvider
+from .preference import (
+    LockstepOrder,
+    PositionalOrder,
+    PreferenceOrder,
+    RandomOrder,
+    ThreadUniformOrder,
+    minimal_word,
+    prefers,
+)
+from .reduction import MODES, ReducedProduct, reduce_program
+from .sleepset import DfaBase, SleepSetAutomaton
+
+__all__ = [
+    "CommutativityRelation",
+    "ConditionalCommutativity",
+    "FullCommutativity",
+    "ProofSensitiveAdapter",
+    "SemanticCommutativity",
+    "SyntacticCommutativity",
+    "composition_equal_condition",
+    "enumerate_class",
+    "equivalent",
+    "foata_normal_form",
+    "partition_into_classes",
+    "is_membrane",
+    "is_weakly_persistent",
+    "PersistentSetProvider",
+    "LockstepOrder",
+    "PositionalOrder",
+    "PreferenceOrder",
+    "RandomOrder",
+    "ThreadUniformOrder",
+    "minimal_word",
+    "prefers",
+    "MODES",
+    "ReducedProduct",
+    "reduce_program",
+    "DfaBase",
+    "SleepSetAutomaton",
+]

@@ -1,0 +1,188 @@
+"""Commutativity relations between program statements.
+
+Three layers, mirroring the paper (§2, §7.2, §8):
+
+* :class:`SyntacticCommutativity` — the efficient sufficient condition
+  ("neither statement writes a variable accessed by the other");
+* :class:`SemanticCommutativity` — the syntactic check first, then a
+  solver query on the two sequential compositions ``a;b`` and ``b;a``;
+* :class:`ConditionalCommutativity` — proof-sensitive commutativity
+  a ↷↷_φ b (Def. 7.3): the compositions agree when started from a state
+  satisfying φ.  Monotone: commuting under φ implies commuting under any
+  stronger assertion, which justifies the cross-round caching
+  optimization in the proof check (§7.2).
+
+Statements of the same thread never commute (the standing assumption of
+§4 that keeps L(P) closed).  Statements with choice variables
+(havoc-like nondeterminism) are compared syntactically only — relational
+equivalence of nondeterministic actions is beyond the guarded-assignment
+solver query, and declaring less commutativity is always sound (§8).
+
+There is also :class:`FullCommutativity`, the idealized relation used by
+the space-complexity theorems (Thm 4.3 / 7.2) and by the test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from ..lang.statements import Statement
+from ..logic import Solver, SolverUnknown, TRUE, Term, and_, eq, iff, implies, var
+
+
+class CommutativityRelation(Protocol):
+    """The unconditional interface used by reductions and persistent sets."""
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        """Symmetric; must be False for statements of the same thread."""
+
+
+def _same_thread(a: Statement, b: Statement) -> bool:
+    return a.thread == b.thread
+
+
+class FullCommutativity:
+    """All statements of different threads commute (ideal test case)."""
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        return not _same_thread(a, b)
+
+
+class SyntacticCommutativity:
+    """Write/access disjointness — cheap and sound."""
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        if _same_thread(a, b):
+            return False
+        return not (
+            a.written_vars() & b.accessed_vars()
+            or b.written_vars() & a.accessed_vars()
+        )
+
+
+_condition_cache: dict[tuple[int, int], Term] = {}
+
+
+def composition_equal_condition(a: Statement, b: Statement) -> Term:
+    """A formula valid iff ``a;b`` and ``b;a`` have the same semantics.
+
+    Both statements must be deterministic (no choices).  Cached per
+    (unordered) pair — the condition is symmetric and these formulas are
+    the hot spot of proof-sensitive checks.
+    """
+    key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+    cached = _condition_cache.get(key)
+    if cached is not None:
+        return cached
+    if key != (a.uid, b.uid):
+        a, b = b, a
+    ab = a.compose(b)
+    ba = b.compose(a)
+    parts = [iff(ab.guard, ba.guard)]
+    touched = set(ab.updates) | set(ba.updates)
+    for name in sorted(touched):
+        lhs = ab.updates.get(name, var(name))
+        rhs = ba.updates.get(name, var(name))
+        parts.append(implies(ab.guard, eq(lhs, rhs)))
+    condition = and_(*parts)
+    _condition_cache[key] = condition
+    return condition
+
+
+class SemanticCommutativity:
+    """Solver-checked commutativity with a syntactic fast path.
+
+    On :class:`SolverUnknown` the pair is declared non-commuting (sound;
+    the paper's implementation does the same on SMT timeout).
+    """
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self._solver = solver or Solver()
+        self._syntactic = SyntacticCommutativity()
+        self._cache: dict[tuple[int, int], bool] = {}
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        if _same_thread(a, b):
+            return False
+        if self._syntactic.commute(a, b):
+            return True
+        if not a.is_deterministic or not b.is_deterministic:
+            return False
+        key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        try:
+            result = self._solver.is_valid(composition_equal_condition(a, b))
+        except SolverUnknown:
+            result = False
+        self._cache[key] = result
+        return result
+
+
+class ConditionalCommutativity:
+    """Proof-sensitive commutativity a ↷↷_φ b (Def. 7.3).
+
+    ``commute_under(phi, a, b)`` asks whether the compositions agree from
+    states satisfying *phi*.  The unconditional ``commute`` (φ = true)
+    makes this usable wherever a plain relation is expected.
+    """
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self._solver = solver or Solver()
+        self._syntactic = SyntacticCommutativity()
+        self._unconditional = SemanticCommutativity(self._solver)
+        self._cache: dict[tuple[Term, int, int], bool] = {}
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        return self._unconditional.commute(a, b)
+
+    def commute_under(self, phi: Term, a: Statement, b: Statement) -> bool:
+        if _same_thread(a, b):
+            return False
+        if self._syntactic.commute(a, b):
+            return True
+        if self._unconditional.commute(a, b):
+            return True
+        if phi == TRUE:
+            return False
+        if not a.is_deterministic or not b.is_deterministic:
+            return False
+        condition = composition_equal_condition(a, b)
+        # Only the variable-connected part of the assertion matters (the
+        # caller's assertions are satisfiable, making this exact); the
+        # projection also folds many distinct assertions onto one cache
+        # entry.  See repro.logic.relevance.
+        from ..logic.relevance import relevant_context
+        from ..logic import free_vars
+
+        context = relevant_context(phi, free_vars(condition))
+        if context == TRUE:
+            return False  # nothing relevant known: same as unconditional
+        pair = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+        key = (context,) + pair
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        try:
+            result = self._solver.is_valid(implies(context, condition))
+        except SolverUnknown:
+            result = False
+        self._cache[key] = result
+        return result
+
+
+class ProofSensitiveAdapter:
+    """Fix the context assertion of a conditional relation.
+
+    The sleep-set construction consumes an unconditional relation; the
+    on-the-fly proof check re-wraps the conditional relation with the
+    current Floyd/Hoare assertion at every state (Algorithm 2).
+    """
+
+    def __init__(self, conditional: ConditionalCommutativity, phi: Term) -> None:
+        self._conditional = conditional
+        self._phi = phi
+
+    def commute(self, a: Statement, b: Statement) -> bool:
+        return self._conditional.commute_under(self._phi, a, b)

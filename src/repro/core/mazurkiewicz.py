@@ -1,0 +1,129 @@
+"""Mazurkiewicz trace theory utilities (§4).
+
+These are primarily *test oracles*: on small programs we enumerate the
+language, group words into equivalence classes, and check reductions for
+soundness (≥ 1 representative per class), minimality (exactly one), and
+canonicity (the representative is the lex(⋖)-minimal class member).
+
+Two words are Mazurkiewicz-equivalent iff one can be rewritten into the
+other by swapping adjacent commuting letters.  For a *static*
+commutativity relation this is decidable by the projection
+characterization (equal letter multisets and equal projections onto
+every dependent pair); :func:`equivalent` uses it, and
+:func:`enumerate_class` does explicit swap-closure for class listings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterable, Iterator, Sequence
+
+from ..lang.statements import Statement
+from .commutativity import CommutativityRelation
+
+Word = tuple[Statement, ...]
+
+
+def equivalent(
+    first: Sequence[Statement],
+    second: Sequence[Statement],
+    commutativity: CommutativityRelation,
+) -> bool:
+    """Mazurkiewicz equivalence via the projection characterization."""
+    if len(first) != len(second):
+        return False
+    if Counter(map(id, first)) != Counter(map(id, second)):
+        return False
+    letters = sorted(set(first), key=lambda s: s.uid)
+    for i, a in enumerate(letters):
+        for b in letters[i:]:
+            if a is not b and commutativity.commute(a, b):
+                continue
+            proj_first = [s for s in first if s is a or s is b]
+            proj_second = [s for s in second if s is a or s is b]
+            if proj_first != proj_second:
+                return False
+    return True
+
+
+def enumerate_class(
+    word: Sequence[Statement], commutativity: CommutativityRelation
+) -> frozenset[Word]:
+    """All words equivalent to *word* (swap-closure BFS)."""
+    start: Word = tuple(word)
+    seen: set[Word] = {start}
+    queue: deque[Word] = deque([start])
+    while queue:
+        w = queue.popleft()
+        for i in range(len(w) - 1):
+            a, b = w[i], w[i + 1]
+            if a is not b and commutativity.commute(a, b):
+                swapped = w[:i] + (b, a) + w[i + 2 :]
+                if swapped not in seen:
+                    seen.add(swapped)
+                    queue.append(swapped)
+    return frozenset(seen)
+
+
+def partition_into_classes(
+    words: Iterable[Sequence[Statement]],
+    commutativity: CommutativityRelation,
+) -> list[frozenset[Word]]:
+    """Partition *words* into Mazurkiewicz equivalence classes.
+
+    Only the given words are grouped (the classes are intersected with
+    the input set) — handy for partitioning a language slice.
+    """
+    remaining: set[Word] = {tuple(w) for w in words}
+    classes: list[frozenset[Word]] = []
+    while remaining:
+        w = remaining.pop()
+        cls = enumerate_class(w, commutativity)
+        members = (cls & remaining) | {w}
+        remaining -= cls
+        classes.append(frozenset(members))
+    return classes
+
+
+def dependence_graph(
+    word: Sequence[Statement], commutativity: CommutativityRelation
+) -> tuple[tuple[int, int], ...]:
+    """The dependence graph of a word: edges (i, j) with i < j between
+    positions whose letters do not commute (the trace's partial order,
+    transitively unreduced).
+
+    Two words are equivalent iff they induce isomorphic dependence
+    graphs; used for visualization (see ``repro.automata.dot``) and as
+    yet another equivalence oracle in tests.
+    """
+    edges: list[tuple[int, int]] = []
+    for j in range(len(word)):
+        for i in range(j):
+            a, b = word[i], word[j]
+            if a is b or not commutativity.commute(a, b):
+                edges.append((i, j))
+    return tuple(edges)
+
+
+def foata_normal_form(
+    word: Sequence[Statement], commutativity: CommutativityRelation
+) -> tuple[frozenset[Statement], ...]:
+    """The Foata normal form: a sequence of steps (independence cliques).
+
+    Each letter is placed in the earliest step after the last letter it
+    depends on.  Equivalent words have equal Foata normal forms, making
+    this a canonical class representative (used in property tests).
+    """
+    steps: list[list[Statement]] = []
+    for letter in word:
+        depth = 0
+        for level, step in enumerate(steps):
+            if any(
+                s is letter or not commutativity.commute(s, letter)
+                for s in step
+            ):
+                depth = level + 1
+        if depth == len(steps):
+            steps.append([])
+        steps[depth].append(letter)
+    return tuple(frozenset(step) for step in steps)

@@ -1,0 +1,72 @@
+"""Checkers for weakly persistent sets and membranes (Def. 6.1 / 6.3).
+
+These validate candidate sets against the definitions by bounded word
+enumeration.  They are oracles for tests and debugging — Algorithm 1
+(:mod:`repro.core.persistent`) never calls them; its output is correct
+by construction (Proposition 7.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+from ..lang.statements import Statement
+from .commutativity import CommutativityRelation
+
+
+def accepted_words_from(
+    base, state: Hashable, max_length: int
+) -> list[tuple[Statement, ...]]:
+    """All words accepted from *state* (lazy base interface), bounded."""
+    out: list[tuple[Statement, ...]] = []
+    queue: deque[tuple[Hashable, tuple[Statement, ...]]] = deque([(state, ())])
+    while queue:
+        q, word = queue.popleft()
+        if base.is_accepting(q):
+            out.append(word)
+        if len(word) == max_length:
+            continue
+        for a, q2 in base.successors(q):
+            queue.append((q2, word + (a,)))
+    return out
+
+
+def is_weakly_persistent(
+    base,
+    state: Hashable,
+    candidate: Iterable[Statement],
+    commutativity: CommutativityRelation,
+    *,
+    max_length: int,
+) -> bool:
+    """Check Definition 6.1 on all accepted words up to *max_length*.
+
+    For every accepted word a₁...aₘ from *state*: if aᵢ does not commute
+    with some letter of the candidate set, then some aⱼ with j ≤ i lies
+    in the candidate set.
+    """
+    M = set(candidate)
+    for word in accepted_words_from(base, state, max_length):
+        for i, a in enumerate(word):
+            conflicts = a in M or any(
+                not commutativity.commute(a, b) for b in M
+            )
+            if conflicts and not any(word[j] in M for j in range(i + 1)):
+                return False
+    return True
+
+
+def is_membrane(
+    base,
+    state: Hashable,
+    candidate: Iterable[Statement],
+    *,
+    max_length: int,
+) -> bool:
+    """Check Definition 6.3 on all accepted words up to *max_length*."""
+    M = set(candidate)
+    for word in accepted_words_from(base, state, max_length):
+        if word and not any(a in M for a in word):
+            return False
+    return True

@@ -1,0 +1,218 @@
+"""Weakly persistent membranes for concurrent programs (§7.1, Algorithm 1).
+
+``PersistentSetProvider.persistent_letters(state, ctx)`` returns, for a
+product state, a weakly persistent membrane M compatible with the
+preference order:
+
+* *weakly persistent* (Def. 6.1): any accepted word from the state whose
+  i-th letter conflicts with M contains an earlier letter from M;
+* *membrane* (Def. 6.3): every non-empty accepted word from the state
+  contains a letter from M;
+* *compatible* (§6.2): every letter in M is ⋖-preferred over every
+  pruned letter.
+
+The algorithm: build the conflict graph over active threads — an edge
+(i, j) when ℓᵢ ⇝ ℓⱼ (location conflict) or thread j has an enabled
+letter preferred over one of thread i's — and return the enabled letters
+of the topologically maximal (sink) SCC.  Between any two active threads
+at least one preference edge exists, so the sink SCC is unique and the
+choice is deterministic.
+
+Threads that monitor ``assert`` statements (those with an error
+location) are always included, realizing footnote 4 of the paper: this
+keeps M a membrane under error-state acceptance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lang.program import ConcurrentProgram, ProductState
+from ..lang.statements import Statement
+from .commutativity import CommutativityRelation
+from .preference import Context, PreferenceOrder
+
+
+class PersistentSetProvider:
+    """Implements Algorithm 1 with memoized preprocessing."""
+
+    def __init__(
+        self,
+        program: ConcurrentProgram,
+        order: PreferenceOrder,
+        commutativity: CommutativityRelation,
+        *,
+        include_observers: bool = True,
+    ) -> None:
+        self.program = program
+        self.order = order
+        self.commutativity = commutativity
+        self.include_observers = include_observers
+        self._reachable_stmts: list[dict[int, frozenset[Statement]]] = [
+            self._thread_reachable_statements(t) for t in program.threads
+        ]
+        self._observers = frozenset(
+            i for i, t in enumerate(program.threads) if t.error is not None
+        )
+        self._commute_cache: dict[tuple[int, int], bool] = {}
+        self._conflict_cache: dict[tuple[int, int, int, int], bool] = {}
+        self._result_cache: dict[tuple, frozenset[Statement]] = {}
+
+    # -- preprocessing ---------------------------------------------------------
+
+    @staticmethod
+    def _thread_reachable_statements(thread) -> dict[int, frozenset[Statement]]:
+        """For each location, the statements on edges reachable from it."""
+        out: dict[int, frozenset[Statement]] = {}
+        for loc in thread.locations:
+            stmts: set[Statement] = set()
+            for reach in thread.reachable_from(loc):
+                stmts.update(thread.enabled(reach))
+            out[loc] = frozenset(stmts)
+        return out
+
+    def _commute(self, a: Statement, b: Statement) -> bool:
+        key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+        hit = self._commute_cache.get(key)
+        if hit is None:
+            hit = self.commutativity.commute(a, b)
+            self._commute_cache[key] = hit
+        return hit
+
+    def _location_conflict(self, i: int, loc_i: int, j: int, loc_j: int) -> bool:
+        """ℓᵢ ⇝ ℓⱼ: an enabled letter of ℓᵢ conflicts with a letter
+        enabled at some location reachable from ℓⱼ in thread j."""
+        key = (i, loc_i, j, loc_j)
+        hit = self._conflict_cache.get(key)
+        if hit is not None:
+            return hit
+        enabled_i = self.program.threads[i].enabled(loc_i)
+        reach_j = self._reachable_stmts[j][loc_j]
+        result = any(
+            not self._commute(a, b) for a in enabled_i for b in reach_j
+        )
+        self._conflict_cache[key] = result
+        return result
+
+    # -- Algorithm 1 --------------------------------------------------------------
+
+    def persistent_letters(
+        self, state: ProductState, context: Context
+    ) -> frozenset[Statement]:
+        """CompatiblePersistentSet(q): a weakly persistent membrane.
+
+        Memoized per (state, context): the result is independent of the
+        sleep set and proof assertion, which otherwise multiply the
+        number of calls by orders of magnitude.
+        """
+        memo_key = (state, context)
+        cached = self._result_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._compute(state, context)
+        self._result_cache[memo_key] = result
+        return result
+
+    def _compute(
+        self, state: ProductState, context: Context
+    ) -> frozenset[Statement]:
+        program = self.program
+        active = [
+            i
+            for i in range(len(program.threads))
+            if program.threads[i].enabled(state[i])
+        ]
+        if not active:
+            return frozenset()
+        edges: dict[int, set[int]] = {i: set() for i in active}
+        enabled = {
+            i: program.threads[i].enabled(state[i]) for i in active
+        }
+        keys = {
+            i: [self.order.key(context, a) for a in enabled[i]] for i in active
+        }
+        for i in active:
+            for j in active:
+                if i == j:
+                    continue
+                if self.include_observers and j in self._observers:
+                    edges[i].add(j)
+                    continue
+                if self._location_conflict(i, state[i], j, state[j]):
+                    edges[i].add(j)
+                    continue
+                # preference edge: thread j has a letter preferred over
+                # one of thread i's letters
+                if min(keys[j]) < max(keys[i]):
+                    edges[i].add(j)
+        component = _sink_scc(active, edges)
+        letters: set[Statement] = set()
+        for i in component:
+            letters.update(enabled[i])
+        return frozenset(letters)
+
+
+def _sink_scc(nodes: Sequence[int], edges: dict[int, set[int]]) -> frozenset[int]:
+    """The unique sink SCC of the conflict graph (Tarjan + condensation)."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = [0]
+    components: list[frozenset[int]] = []
+    comp_of: dict[int, int] = {}
+
+    def strongconnect(v: int) -> None:
+        # iterative Tarjan to avoid recursion limits
+        work = [(v, iter(sorted(edges[v])))]
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = lowlink[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp: set[int] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == node:
+                        break
+                comp_of.update({w: len(components) for w in comp})
+                components.append(frozenset(comp))
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+
+    sinks = []
+    for ci, comp in enumerate(components):
+        outgoing = {
+            comp_of[w] for v in comp for w in edges[v] if comp_of[w] != ci
+        }
+        if not outgoing:
+            sinks.append(comp)
+    if len(sinks) != 1:
+        # With preference edges between every active pair the sink is
+        # unique; defensively fall back to the union (always sound).
+        return frozenset(n for comp in sinks for n in comp)
+    return sinks[0]

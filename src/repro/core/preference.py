@@ -1,0 +1,183 @@
+"""Preference orders over interleavings (§4).
+
+A preference order is represented *positionally*: a (hashable) context
+is threaded through the word being read, and at each context every
+letter has a sort key; lexicographic comparison of key sequences yields
+the preference order lex(⋖) of Definition 4.5.  Non-positional orders
+(Definition 4.2) simply use a constant context.
+
+The context plays the role of the state of the auxiliary DFA in the
+paper's finite representation of ⋖: exploring the product of the program
+automaton and the context automaton makes every order in this module an
+A-positional lexicographic preference order in the formal sense.
+
+Shipped orders (matching the tool configurations evaluated in §8):
+
+* :class:`ThreadUniformOrder` — "seq": statements ordered by thread
+  priority; approximates sequential composition of threads (Thm 4.3);
+* :class:`LockstepOrder` — positional; rotates thread priorities after
+  every step so that the thread that just moved is least preferred
+  (Example 4.6);
+* :class:`RandomOrder` — a pseudo-random (seeded) fixed permutation of
+  the alphabet;
+* :class:`PositionalOrder` — build your own from callables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Iterable, Protocol, Sequence
+
+from ..lang.statements import Statement
+
+Context = Hashable
+SortKey = tuple
+
+
+class PreferenceOrder(Protocol):
+    """The positional preference-order interface."""
+
+    name: str
+
+    def initial_context(self) -> Context:
+        """Context before any letter has been read."""
+
+    def advance(self, context: Context, letter: Statement) -> Context:
+        """Context after reading *letter*."""
+
+    def key(self, context: Context, letter: Statement) -> SortKey:
+        """Sort key of *letter* in *context*; the induced order must be
+        total and strict (ties are broken by the letter's uid)."""
+
+
+class ThreadUniformOrder:
+    """Non-positional, thread-uniform order (the paper's "seq").
+
+    Statements are ranked by their thread's position in *priority* (low
+    rank = preferred).  Under full commutativity the induced reduction is
+    the sequential composition of threads in priority order and has a
+    linear-size recognizer (Thm 4.3 / 7.2).
+    """
+
+    def __init__(self, priority: Sequence[int] | None = None, name: str = "seq") -> None:
+        self._priority = list(priority) if priority is not None else None
+        self.name = name
+
+    def initial_context(self) -> Context:
+        return None
+
+    def advance(self, context: Context, letter: Statement) -> Context:
+        return None
+
+    def key(self, context: Context, letter: Statement) -> SortKey:
+        if self._priority is None:
+            rank = letter.thread
+        else:
+            rank = self._priority.index(letter.thread)
+        return (rank, letter.uid)
+
+
+class LockstepOrder:
+    """Positional order approximating lockstep scheduling (Example 4.6).
+
+    The context is the thread that moved last; its statements become
+    least preferred, the next thread (cyclically) most preferred.
+    """
+
+    def __init__(self, num_threads: int, name: str = "lockstep") -> None:
+        if num_threads < 1:
+            raise ValueError("need at least one thread")
+        self.num_threads = num_threads
+        self.name = name
+
+    def initial_context(self) -> Context:
+        # as if thread n-1 just moved: thread 0 is most preferred
+        return self.num_threads - 1
+
+    def advance(self, context: Context, letter: Statement) -> Context:
+        return letter.thread
+
+    def key(self, context: Context, letter: Statement) -> SortKey:
+        rank = (letter.thread - context - 1) % self.num_threads
+        return (rank, letter.uid)
+
+
+class RandomOrder:
+    """A seeded pseudo-random fixed total order on the alphabet (§8)."""
+
+    def __init__(self, alphabet: Iterable[Statement], seed: int) -> None:
+        letters = sorted(alphabet, key=lambda s: s.uid)
+        rng = random.Random(seed)
+        rng.shuffle(letters)
+        self._rank = {s: i for i, s in enumerate(letters)}
+        self.seed = seed
+        self.name = f"rand({seed})"
+
+    def initial_context(self) -> Context:
+        return None
+
+    def advance(self, context: Context, letter: Statement) -> Context:
+        return None
+
+    def key(self, context: Context, letter: Statement) -> SortKey:
+        # letters outside the sampled alphabet sort last, deterministically
+        rank = self._rank.get(letter, len(self._rank))
+        return (rank, letter.uid)
+
+
+class PositionalOrder:
+    """A positional order assembled from callables."""
+
+    def __init__(
+        self,
+        initial: Context,
+        advance: Callable[[Context, Statement], Context],
+        key: Callable[[Context, Statement], SortKey],
+        name: str = "positional",
+    ) -> None:
+        self._initial = initial
+        self._advance = advance
+        self._key = key
+        self.name = name
+
+    def initial_context(self) -> Context:
+        return self._initial
+
+    def advance(self, context: Context, letter: Statement) -> Context:
+        return self._advance(context, letter)
+
+    def key(self, context: Context, letter: Statement) -> SortKey:
+        return self._key(context, letter)
+
+
+def prefers(
+    order: PreferenceOrder,
+    first: Sequence[Statement],
+    second: Sequence[Statement],
+) -> bool:
+    """Is *first* ≼ *second* in the induced lexicographic order?
+
+    Implements Definition 4.5 for comparable words: prefixes are
+    preferred, and at the first difference the letters' keys at the
+    current context decide.
+    """
+    context = order.initial_context()
+    for a, b in zip(first, second):
+        if a is not b:
+            return order.key(context, a) <= order.key(context, b)
+        context = order.advance(context, a)
+    return len(first) <= len(second)
+
+
+def minimal_word(
+    order: PreferenceOrder, words: Iterable[Sequence[Statement]]
+) -> tuple[Statement, ...]:
+    """The lex(⋖)-minimal word among *words* (which must be non-empty)."""
+    best: tuple[Statement, ...] | None = None
+    for w in words:
+        w = tuple(w)
+        if best is None or prefers(order, w, best):
+            best = w
+    if best is None:
+        raise ValueError("no words given")
+    return best

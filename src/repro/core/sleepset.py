@@ -1,0 +1,91 @@
+"""The sleep set automaton S⋖(A) (§5, Definition 5.1).
+
+Given a base automaton A (typically the lazy interleaving product of a
+concurrent program), a preference order lex(⋖), and a commutativity
+relation, the sleep set automaton recognizes *exactly* the lexicographic
+reduction red_lex(⋖)(L(A)) (Theorem 5.3): language-minimal, one
+representative (the ⋖-minimal word) per Mazurkiewicz equivalence class.
+
+States are triples ⟨q, S, c⟩ of a base state, the sleep set S ⊆ Σ, and
+the preference-order context c (the paper encodes c in the state of A;
+carrying it explicitly is the product construction, see
+:mod:`repro.core.preference`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from ..automata import DFA
+from ..lang.statements import Statement
+from .commutativity import CommutativityRelation
+from .preference import Context, PreferenceOrder
+
+BaseState = Hashable
+SleepState = tuple[BaseState, frozenset[Statement], Context]
+
+
+class DfaBase:
+    """Adapter exposing an explicit DFA through the lazy base interface."""
+
+    def __init__(self, dfa: DFA) -> None:
+        self._dfa = dfa
+        self._out: dict[BaseState, list[tuple[Statement, BaseState]]] = {}
+        for (q, a), q2 in dfa.transitions.items():
+            self._out.setdefault(q, []).append((a, q2))
+
+    def initial_state(self) -> BaseState:
+        return self._dfa.initial
+
+    def successors(self, state: BaseState) -> Iterable[tuple[Statement, BaseState]]:
+        return self._out.get(state, ())
+
+    def is_accepting(self, state: BaseState) -> bool:
+        return state in self._dfa.finals
+
+
+class SleepSetAutomaton:
+    """S⋖(A) as a lazy DFA.
+
+    δ_S(⟨q, S⟩, a) is undefined if a ∈ S or δ(q, a) is undefined, and
+    otherwise ⟨δ(q, a), S'⟩ with
+
+        S' = { b ∈ enabled(q) | (b ∈ S or b <_q a) and a ↷↷ b }.
+    """
+
+    def __init__(
+        self,
+        base,
+        order: PreferenceOrder,
+        commutativity: CommutativityRelation,
+    ) -> None:
+        self.base = base
+        self.order = order
+        self.commutativity = commutativity
+
+    def initial_state(self) -> SleepState:
+        return (
+            self.base.initial_state(),
+            frozenset(),
+            self.order.initial_context(),
+        )
+
+    def successors(self, state: SleepState) -> Iterator[tuple[Statement, SleepState]]:
+        q, sleep, ctx = state
+        edges = list(self.base.successors(q))
+        enabled = [a for a, _ in edges]
+        edges.sort(key=lambda e: self.order.key(ctx, e[0]))
+        for a, q2 in edges:
+            if a in sleep:
+                continue
+            key_a = self.order.key(ctx, a)
+            new_sleep = frozenset(
+                b
+                for b in enabled
+                if (b in sleep or self.order.key(ctx, b) < key_a)
+                and self.commutativity.commute(a, b)
+            )
+            yield a, (q2, new_sleep, self.order.advance(ctx, a))
+
+    def is_accepting(self, state: SleepState) -> bool:
+        return self.base.is_accepting(state[0])

@@ -1,0 +1,233 @@
+"""Shared experiment runner for the evaluation harness (benchmarks/).
+
+Provides named *tool configurations* matching the paper's §8 setups,
+a process-wide result cache (so Figure 6/7 reuse Table 1's runs), and
+table formatting/persistence helpers.
+
+Environment knobs:
+
+* ``REPRO_BUDGET``  — per-run time budget in seconds (default 45);
+* ``REPRO_ROUNDS``  — refinement round cap (default 60);
+* ``REPRO_FULL=1``  — run the larger instances (e.g. bluetooth up to 6
+  threads in Figure 1c) at the cost of a longer wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from .benchmarks import Benchmark, all_benchmarks
+from .core.commutativity import ConditionalCommutativity, SyntacticCommutativity
+from .core.preference import (
+    LockstepOrder,
+    PreferenceOrder,
+    RandomOrder,
+    ThreadUniformOrder,
+)
+from .lang.program import ConcurrentProgram
+from .logic import Solver
+from .verifier import (
+    PortfolioResult,
+    Verdict,
+    VerificationResult,
+    VerifierConfig,
+    verify,
+    verify_portfolio,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+TOOLS = (
+    "baseline",       # Automizer stand-in: full product, no reduction
+    "portfolio",      # GemCutter: best of 5 orders, combined reduction
+    "seq",            # single-order members ...
+    "lockstep",
+    "rand(1)",
+    "rand(2)",
+    "rand(3)",
+    "sleep",          # Table 2 ablations
+    "persistent",
+    "portfolio-nops", # portfolio without proof-sensitive commutativity
+)
+
+
+def time_budget() -> float:
+    return float(os.environ.get("REPRO_BUDGET", "20"))
+
+
+def round_budget() -> int:
+    return int(os.environ.get("REPRO_ROUNDS", "60"))
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "")
+
+
+def _config(**overrides) -> VerifierConfig:
+    base = dict(
+        max_rounds=round_budget(),
+        time_budget=time_budget(),
+        track_memory=True,
+    )
+    base.update(overrides)
+    return VerifierConfig(**base)
+
+
+def _order_for(program: ConcurrentProgram, name: str) -> PreferenceOrder:
+    if name == "seq":
+        return ThreadUniformOrder()
+    if name == "lockstep":
+        return LockstepOrder(len(program.threads))
+    if name.startswith("rand("):
+        seed = int(name[5:-1])
+        return RandomOrder(program.alphabet(), seed)
+    raise ValueError(f"unknown order {name!r}")
+
+
+def run_tool(program: ConcurrentProgram, tool: str) -> VerificationResult:
+    """Run one tool configuration on one program (uncached)."""
+    if tool == "baseline":
+        return verify(
+            program,
+            ThreadUniformOrder(),
+            SyntacticCommutativity(),
+            config=_config(mode="none", proof_sensitive=False),
+        )
+    if tool == "portfolio":
+        outcome = verify_portfolio(program, config=_config())
+        # cache the members under their own tool names so the
+        # order-comparison experiments (Fig 8, Table 2) reuse these runs
+        for member in outcome.members:
+            _cache.setdefault((program.name, member.order_name), member)
+        return outcome.aggregate()
+    if tool == "portfolio-nops":
+        return verify_portfolio(
+            program,
+            config=_config(proof_sensitive=False),
+            commutativity_factory=lambda solver: ConditionalCommutativity(solver),
+        ).aggregate()
+    if tool in ("sleep", "persistent"):
+        solver = Solver()
+        return verify(
+            program,
+            ThreadUniformOrder(),
+            ConditionalCommutativity(solver),
+            config=_config(mode=tool),
+            solver=solver,
+        )
+    # single preference order, combined reduction
+    solver = Solver()
+    return verify(
+        program,
+        _order_for(program, tool),
+        ConditionalCommutativity(solver),
+        config=_config(),
+        solver=solver,
+    )
+
+
+_cache: dict[tuple[str, str], VerificationResult] = {}
+
+
+def _log_progress(message: str) -> None:
+    """Append to the progress log (benchmark runs are long; make them
+    observable without relying on pytest's captured stdout)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / "progress.log", "a") as fh:
+        import time as _time
+
+        fh.write(f"{_time.strftime('%H:%M:%S')} {message}\n")
+
+
+def run_cached(bench: Benchmark, tool: str) -> VerificationResult:
+    """Memoized run — shared across all benchmark files in one session."""
+    key = (bench.name, tool)
+    hit = _cache.get(key)
+    if hit is None:
+        _log_progress(f"run {tool:16s} {bench.name}")
+        hit = run_tool(bench.build(), tool)
+        _cache[key] = hit
+        _log_progress(
+            f"  -> {hit.verdict.value:9s} {hit.time_seconds:6.1f}s "
+            f"rounds={hit.rounds}"
+        )
+    return hit
+
+
+def run_suite(tool: str, benches: Sequence[Benchmark] | None = None):
+    """Run *tool* over the registry; yields (benchmark, result)."""
+    for bench in benches if benches is not None else all_benchmarks():
+        yield bench, run_cached(bench, tool)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation (the rows of Tables 1 and 2)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SuiteAggregate:
+    """One row group of Table 1."""
+
+    label: str
+    successful: int = 0
+    correct: int = 0
+    incorrect: int = 0
+    time_seconds: float = 0.0
+    memory_bytes: int = 0
+    rounds: int = 0
+
+    def add(self, bench: Benchmark, result: VerificationResult) -> None:
+        if not result.verdict.solved:
+            return
+        self.successful += 1
+        if result.verdict == Verdict.CORRECT:
+            self.correct += 1
+        else:
+            self.incorrect += 1
+        self.time_seconds += result.time_seconds
+        self.memory_bytes += result.peak_memory_bytes
+        self.rounds += result.rounds
+
+
+def aggregate(
+    pairs: Iterable[tuple[Benchmark, VerificationResult]], label: str
+) -> SuiteAggregate:
+    agg = SuiteAggregate(label)
+    for bench, result in pairs:
+        agg.add(bench, result)
+    return agg
+
+
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a report and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====\n{text}\n", flush=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def emit_json(name: str, payload) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+
+def result_row(result: VerificationResult) -> dict:
+    return {
+        "program": result.program_name,
+        "verdict": result.verdict.value,
+        "rounds": result.rounds,
+        "proof_size": result.proof_size,
+        "states": result.states_explored,
+        "time_s": round(result.time_seconds, 3),
+        "memory_mb": round(result.peak_memory_bytes / 1e6, 2),
+        "order": result.order_name,
+    }

@@ -1,0 +1,31 @@
+"""The mini concurrent language: AST, parser, CFGs, and program model."""
+
+from . import ast
+from .cfg import CompileError, ThreadCFG, compile_thread
+from .interp import ExplorationResult, explore_concrete, replay
+from .parser import ParseError, parse, parse_program
+from .program import ConcurrentProgram, ProductState, ProductView, instantiate
+from .statements import Statement, SymbolicAction, assign, assume, havoc, skip
+
+__all__ = [
+    "ast",
+    "CompileError",
+    "ThreadCFG",
+    "compile_thread",
+    "ExplorationResult",
+    "explore_concrete",
+    "replay",
+    "ParseError",
+    "parse",
+    "parse_program",
+    "ConcurrentProgram",
+    "ProductState",
+    "ProductView",
+    "instantiate",
+    "Statement",
+    "SymbolicAction",
+    "assign",
+    "assume",
+    "havoc",
+    "skip",
+]

@@ -1,0 +1,123 @@
+"""Surface abstract syntax of the mini concurrent language.
+
+The language mirrors the program model of the paper (§3) and the
+benchmark style of SV-COMP: a set of global variable declarations, an
+optional pre/postcondition pair, and a fixed number of threads (possibly
+replicated).  Statement-level nodes compile to control-flow automata in
+:mod:`repro.lang.cfg`.
+
+Expressions are the terms of :mod:`repro.logic`; boolean-typed program
+variables are modeled as 0/1 integers by the front-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic import Term
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A variable declaration with optional initializer."""
+
+    name: str
+    sort: str  # "int" | "bool"
+    init: Term | None = None
+
+
+class Stmt:
+    """Base class of statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Term
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    condition: Term
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    condition: Term
+
+
+@dataclass(frozen=True)
+class Havoc(Stmt):
+    target: str
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    stmts: tuple[Stmt, ...]
+
+    @staticmethod
+    def of(stmts: Sequence[Stmt]) -> "Stmt":
+        flat: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Seq):
+                flat.extend(s.stmts)
+            elif not isinstance(s, Skip):
+                flat.append(s)
+        if not flat:
+            return Skip()
+        if len(flat) == 1:
+            return flat[0]
+        return Seq(tuple(flat))
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional; ``condition is None`` means nondeterministic choice."""
+
+    condition: Term | None
+    then: Stmt
+    else_: Stmt
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """Loop; ``condition is None`` means nondeterministic continuation."""
+
+    condition: Term | None
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Atomic(Stmt):
+    """A block executed without interleaving (compiles to one letter per path)."""
+
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class ThreadDef:
+    """A thread template; ``count > 1`` replicates it."""
+
+    name: str
+    body: Stmt
+    count: int = 1
+    locals: tuple[VarDecl, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProgramDef:
+    """A complete surface program."""
+
+    decls: tuple[VarDecl, ...]
+    threads: tuple[ThreadDef, ...]
+    pre: Term | None = None
+    post: Term | None = None
+    name: str = "program"

@@ -1,0 +1,436 @@
+"""Parser for the mini concurrent language.
+
+Grammar (informal)::
+
+    program  := decl* spec* thread+
+    decl     := 'var' NAME ':' ('int' | 'bool') ('=' expr)? ';'
+    spec     := ('pre' | 'post') ':' expr ';'
+    thread   := 'thread' NAME ('[' INT ']')? '{' local* stmt* '}'
+    local    := 'local' NAME ':' ('int' | 'bool') ('=' expr)? ';'
+    stmt     := 'skip' ';'
+              | NAME ':=' expr ';'
+              | 'assume' expr ';'
+              | 'assert' expr ';'
+              | 'havoc' NAME ';'
+              | 'atomic' '{' stmt* '}'
+              | 'if' '(' expr | '*' ')' '{' stmt* '}' ('else' '{' stmt* '}')?
+              | 'while' '(' expr | '*' ')' '{' stmt* '}'
+    expr     := C-like with || && ! == != < <= > >= + - and integer
+                multiplication by constants
+
+Boolean program variables are sugar for 0/1 integers: reading ``b`` in a
+boolean position means ``b == 1``; assigning a boolean expression stores
+``ite(e, 1, 0)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..logic import (
+    FALSE,
+    TRUE,
+    Term,
+    add,
+    and_,
+    eq,
+    ge,
+    gt,
+    iff,
+    intc,
+    ite,
+    le,
+    lt,
+    mul,
+    ne,
+    not_,
+    or_,
+    sub,
+    var,
+)
+from . import ast
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|==|!=|<=|>=|&&|\|\||[-+*/!<>=:;(){}\[\],])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "var", "int", "bool", "pre", "post", "thread", "local", "skip",
+    "assume", "assert", "havoc", "atomic", "if", "else", "while",
+    "true", "false",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'name' | 'op' | 'kw' | 'eof'
+    text: str
+    pos: int
+
+
+class ParseError(Exception):
+    """Raised on syntax or sort errors."""
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, m.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+INT, BOOL, ARRAY = "int", "bool", "array"
+
+
+class Parser:
+    """Recursive-descent parser producing a :class:`repro.lang.ast.ProgramDef`."""
+
+    def __init__(self, source: str, *, name: str = "program") -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+        self.program_name = name
+        self.sorts: dict[str, str] = {}
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            got = self.peek()
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {got.text!r} at {got.pos}")
+        return tok
+
+    # -- program structure ---------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramDef:
+        decls: list[ast.VarDecl] = []
+        pre: Term | None = None
+        post: Term | None = None
+        threads: list[ast.ThreadDef] = []
+        while self.peek().kind != "eof":
+            if self.accept("kw", "var"):
+                decls.append(self._decl())
+            elif self.accept("kw", "pre"):
+                self.expect("op", ":")
+                pre = self._expr_of_sort(BOOL)
+                self.expect("op", ";")
+            elif self.accept("kw", "post"):
+                self.expect("op", ":")
+                post = self._expr_of_sort(BOOL)
+                self.expect("op", ";")
+            elif self.accept("kw", "thread"):
+                threads.append(self._thread())
+            else:
+                tok = self.peek()
+                raise ParseError(f"unexpected {tok.text!r} at {tok.pos}")
+        if not threads:
+            raise ParseError("program has no threads")
+        return ast.ProgramDef(
+            decls=tuple(decls),
+            threads=tuple(threads),
+            pre=pre,
+            post=post,
+            name=self.program_name,
+        )
+
+    def _decl(self) -> ast.VarDecl:
+        name = self.expect("name").text
+        self.expect("op", ":")
+        sort_tok = self.accept("kw", "int") or self.expect("kw", "bool")
+        sort = sort_tok.text
+        if sort == INT and self.accept("op", "["):
+            self.expect("op", "]")
+            sort = ARRAY
+        if name in self.sorts:
+            raise ParseError(f"duplicate declaration of {name!r}")
+        self.sorts[name] = sort
+        init: Term | None = None
+        if self.accept("op", "="):
+            if sort == ARRAY:
+                raise ParseError("array variables cannot take initializers")
+            init = self._expr_of_sort(INT if sort == INT else BOOL)
+            if sort == BOOL:
+                init = _to_int(init)
+        self.expect("op", ";")
+        return ast.VarDecl(name, sort, init)
+
+    def _thread(self) -> ast.ThreadDef:
+        name = self.expect("name").text
+        count = 1
+        if self.accept("op", "["):
+            count = int(self.expect("num").text)
+            self.expect("op", "]")
+            if count < 1:
+                raise ParseError(f"thread count must be positive: {count}")
+        self.expect("op", "{")
+        locals_: list[ast.VarDecl] = []
+        while self.accept("kw", "local"):
+            locals_.append(self._decl())
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self._stmt())
+        # local sorts leave scope (names may repeat in other threads)
+        for decl in locals_:
+            del self.sorts[decl.name]
+        return ast.ThreadDef(
+            name=name,
+            body=ast.Seq.of(stmts),
+            count=count,
+            locals=tuple(locals_),
+        )
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self) -> ast.Stmt:
+        if self.accept("kw", "skip"):
+            self.expect("op", ";")
+            return ast.Skip()
+        if self.accept("kw", "assume"):
+            cond = self._expr_of_sort(BOOL)
+            self.expect("op", ";")
+            return ast.Assume(cond)
+        if self.accept("kw", "assert"):
+            cond = self._expr_of_sort(BOOL)
+            self.expect("op", ";")
+            return ast.Assert(cond)
+        if self.accept("kw", "havoc"):
+            name = self.expect("name").text
+            if self._sort_of(name) == ARRAY:
+                raise ParseError("havoc on array variables is not supported")
+            self.expect("op", ";")
+            return ast.Havoc(name)
+        if self.accept("kw", "atomic"):
+            return ast.Atomic(self._block())
+        if self.accept("kw", "if"):
+            cond = self._paren_cond()
+            then = self._block()
+            else_: ast.Stmt = ast.Skip()
+            if self.accept("kw", "else"):
+                else_ = self._block()
+            return ast.If(cond, then, else_)
+        if self.accept("kw", "while"):
+            cond = self._paren_cond()
+            return ast.While(cond, self._block())
+        # assignment (plain or through an array cell)
+        name_tok = self.expect("name")
+        name = name_tok.text
+        sort = self._sort_of(name)
+        if sort == ARRAY:
+            from ..logic import avar, store
+
+            self.expect("op", "[")
+            index = self._expr_of_sort(INT)
+            self.expect("op", "]")
+            self.expect("op", ":=")
+            value = self._expr_of_sort(INT)
+            self.expect("op", ";")
+            return ast.Assign(name, store(avar(name), index, value))
+        self.expect("op", ":=")
+        if sort == BOOL:
+            value = _to_int(self._expr_of_sort(BOOL))
+        else:
+            value = self._expr_of_sort(INT)
+        self.expect("op", ";")
+        return ast.Assign(name, value)
+
+    def _paren_cond(self) -> Term | None:
+        self.expect("op", "(")
+        if self.accept("op", "*"):
+            self.expect("op", ")")
+            return None
+        cond = self._expr_of_sort(BOOL)
+        self.expect("op", ")")
+        return cond
+
+    def _block(self) -> ast.Stmt:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self._stmt())
+        return ast.Seq.of(stmts)
+
+    # -- expressions ------------------------------------------------------------
+    # precedence: || < && < ! < comparisons < + - < unary - < atoms
+
+    def _expr_of_sort(self, want: str) -> Term:
+        term, sort = self._or_expr()
+        if sort != want:
+            if want == BOOL and sort == INT:
+                raise ParseError(f"expected a boolean expression, got {term!r}")
+            raise ParseError(f"expected an integer expression, got {term!r}")
+        return term
+
+    def _or_expr(self) -> tuple[Term, str]:
+        lhs, sort = self._and_expr()
+        while self.accept("op", "||"):
+            rhs, rsort = self._and_expr()
+            _require(sort == BOOL and rsort == BOOL, "|| needs boolean operands")
+            lhs = or_(lhs, rhs)
+        return lhs, sort
+
+    def _and_expr(self) -> tuple[Term, str]:
+        lhs, sort = self._cmp_expr()
+        while self.accept("op", "&&"):
+            rhs, rsort = self._cmp_expr()
+            _require(sort == BOOL and rsort == BOOL, "&& needs boolean operands")
+            lhs = and_(lhs, rhs)
+        return lhs, sort
+
+    _CMP = {"==", "!=", "<", "<=", ">", ">="}
+
+    def _cmp_expr(self) -> tuple[Term, str]:
+        lhs, sort = self._add_expr()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in self._CMP:
+            self.next()
+            rhs, rsort = self._add_expr()
+            if tok.text in ("==", "!="):
+                _require(sort == rsort, "==/!= needs same-sorted operands")
+                if sort == BOOL:
+                    out = iff(lhs, rhs)
+                else:
+                    out = eq(lhs, rhs)
+                if tok.text == "!=":
+                    out = not_(out)
+                return out, BOOL
+            _require(sort == INT and rsort == INT, "comparison needs integers")
+            op = {"<": lt, "<=": le, ">": gt, ">=": ge}[tok.text]
+            return op(lhs, rhs), BOOL
+        return lhs, sort
+
+    def _add_expr(self) -> tuple[Term, str]:
+        lhs, sort = self._mul_expr()
+        while True:
+            if self.accept("op", "+"):
+                rhs, rsort = self._mul_expr()
+                _require(sort == INT and rsort == INT, "+ needs integers")
+                lhs = add(lhs, rhs)
+            elif self.accept("op", "-"):
+                rhs, rsort = self._mul_expr()
+                _require(sort == INT and rsort == INT, "- needs integers")
+                lhs = sub(lhs, rhs)
+            else:
+                return lhs, sort
+
+    def _mul_expr(self) -> tuple[Term, str]:
+        lhs, sort = self._unary_expr()
+        while self.accept("op", "*"):
+            rhs, rsort = self._unary_expr()
+            _require(sort == INT and rsort == INT, "* needs integers")
+            from ..logic.terms import IntConst
+
+            if isinstance(lhs, IntConst):
+                lhs = mul(lhs.value, rhs)
+            elif isinstance(rhs, IntConst):
+                lhs = mul(rhs.value, lhs)
+            else:
+                raise ParseError("only linear multiplication is supported")
+        return lhs, sort
+
+    def _unary_expr(self) -> tuple[Term, str]:
+        if self.accept("op", "!"):
+            arg, sort = self._unary_expr()
+            _require(sort == BOOL, "! needs a boolean operand")
+            return not_(arg), BOOL
+        if self.accept("op", "-"):
+            arg, sort = self._unary_expr()
+            _require(sort == INT, "unary - needs an integer operand")
+            return mul(-1, arg), INT
+        return self._atom()
+
+    def _atom(self) -> tuple[Term, str]:
+        if self.accept("op", "("):
+            term, sort = self._or_expr()
+            self.expect("op", ")")
+            return term, sort
+        tok = self.peek()
+        if tok.kind == "num":
+            self.next()
+            return intc(int(tok.text)), INT
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            self.next()
+            return (TRUE if tok.text == "true" else FALSE), BOOL
+        if tok.kind == "name":
+            self.next()
+            sort = self._sort_of(tok.text)
+            if sort == ARRAY:
+                from ..logic import avar, select
+
+                self.expect("op", "[")
+                index = self._expr_of_sort(INT)
+                self.expect("op", "]")
+                return select(avar(tok.text), index), INT
+            if sort == BOOL:
+                return eq(var(tok.text), intc(1)), BOOL
+            return var(tok.text), INT
+        raise ParseError(f"unexpected {tok.text!r} at {tok.pos}")
+
+    def _sort_of(self, name: str) -> str:
+        sort = self.sorts.get(name)
+        if sort is None:
+            raise ParseError(f"undeclared variable {name!r}")
+        return sort
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParseError(message)
+
+
+def _to_int(formula: Term) -> Term:
+    """Encode a boolean expression as a 0/1 integer."""
+    if formula == TRUE:
+        return intc(1)
+    if formula == FALSE:
+        return intc(0)
+    return ite(formula, intc(1), intc(0))
+
+
+def parse_program(source: str, *, name: str = "program") -> ast.ProgramDef:
+    """Parse source text into a surface program definition."""
+    return Parser(source, name=name).parse_program()
+
+
+def parse(source: str, *, name: str = "program"):
+    """Parse and instantiate: the one-call front door.
+
+    Returns a :class:`repro.lang.program.ConcurrentProgram`.
+    """
+    from .program import instantiate
+
+    return instantiate(parse_program(source, name=name))

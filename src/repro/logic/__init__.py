@@ -1,0 +1,71 @@
+"""Logic substrate: terms, a from-scratch LIA solver, and QE.
+
+This package replaces the SMT backend (SMTInterpol / Z3) used by the
+paper's implementation; see DESIGN.md §3 for the substitution rationale.
+"""
+
+from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
+from .terms import (
+    Add,
+    And,
+    AVar,
+    BoolConst,
+    Eq,
+    FALSE,
+    Select,
+    Store,
+    avar,
+    select,
+    store,
+    IntConst,
+    Ite,
+    Le,
+    Mul,
+    Not,
+    ONE,
+    Or,
+    TRUE,
+    Term,
+    Var,
+    ZERO,
+    add,
+    and_,
+    boolc,
+    eq,
+    evaluate,
+    free_vars,
+    fresh_var,
+    ge,
+    gt,
+    iff,
+    implies,
+    intc,
+    ite,
+    le,
+    lt,
+    mul,
+    ne,
+    neg,
+    not_,
+    or_,
+    rename,
+    sub,
+    substitute,
+    var,
+)
+from .simplify import drop_redundant_conjuncts, drop_redundant_disjuncts, simplify, simplify_all
+from .solver import Solver, SolverUnknown, default_solver
+from .qe import eliminate_exists, eliminate_forall
+
+__all__ = [
+    "Add", "And", "BoolConst", "Eq", "FALSE", "IntConst", "Ite", "Le",
+    "Mul", "Not", "ONE", "Or", "TRUE", "Term", "Var", "ZERO",
+    "add", "and_", "boolc", "eq", "evaluate", "free_vars", "fresh_var",
+    "ge", "gt", "iff", "implies", "intc", "ite", "le", "lt", "mul", "ne",
+    "neg", "not_", "or_", "rename", "sub", "substitute", "var",
+    "Solver", "SolverUnknown", "default_solver",
+    "eliminate_exists", "eliminate_forall",
+    "AVar", "Select", "Store", "avar", "select", "store",
+    "UnsupportedArrayFormula", "ackermannize", "contains_arrays",
+    "drop_redundant_conjuncts", "drop_redundant_disjuncts", "simplify", "simplify_all",
+]

@@ -1,0 +1,255 @@
+"""Array (McCarthy select/store) preprocessing for the solver.
+
+The mini language models the heap as integer arrays (the paper's §8:
+"the heap is here represented as a single array variable").  The solver
+core is pure LIA, so array formulas are compiled away:
+
+1. **Read-over-write** is already handled structurally by the smart
+   constructor :func:`repro.logic.terms.select`.
+2. **Array equalities** ``s == t`` between store-chains over the *same*
+   base array differ at most at the stored indices, so they rewrite to
+   the finite pointwise conjunction over those indices.
+3. **Ackermannization**: each remaining read ``a[e]`` (on a base array
+   variable) becomes a fresh integer variable, with functional-
+   consistency constraints ``e_i == e_j -> r_i == r_j`` for reads on the
+   same array.
+
+The result is an equisatisfiable pure-LIA formula.  Equalities between
+*different* base arrays (full extensionality) are outside the fragment
+and raise :class:`UnsupportedArrayFormula` — nothing in the language
+front-end produces them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .terms import (
+    Add,
+    And,
+    AVar,
+    BoolConst,
+    Eq,
+    IntConst,
+    Ite,
+    Le,
+    Mul,
+    Not,
+    Or,
+    Select,
+    Store,
+    Term,
+    Var,
+    add,
+    and_,
+    eq,
+    implies,
+    ite,
+    le,
+    mul,
+    not_,
+    or_,
+    select,
+    var,
+)
+
+
+class UnsupportedArrayFormula(ValueError):
+    """Raised for array formulas outside the supported fragment."""
+
+
+def array_names(term: Term) -> frozenset[str]:
+    """Names of array variables occurring in *term*."""
+    out: set[str] = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, AVar):
+            out.add(t.name)
+        elif isinstance(t, (Add, And, Or)):
+            stack.extend(t.args)
+        elif isinstance(t, (Mul, Not)):
+            stack.append(t.arg)
+        elif isinstance(t, (Le, Eq)):
+            stack.extend((t.lhs, t.rhs))
+        elif isinstance(t, Ite):
+            stack.extend((t.cond, t.then, t.else_))
+        elif isinstance(t, Select):
+            stack.extend((t.array, t.index))
+        elif isinstance(t, Store):
+            stack.extend((t.array, t.index, t.value))
+    return frozenset(out)
+
+
+def contains_arrays(term: Term) -> bool:
+    """Quick check whether array reasoning is needed at all."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (AVar, Select, Store)):
+            return True
+        if isinstance(t, (Add, And, Or)):
+            stack.extend(t.args)
+        elif isinstance(t, (Mul, Not)):
+            stack.append(t.arg)
+        elif isinstance(t, (Le, Eq)):
+            stack.extend((t.lhs, t.rhs))
+        elif isinstance(t, Ite):
+            stack.extend((t.cond, t.then, t.else_))
+    return False
+
+
+def _is_array_sorted(term: Term) -> bool:
+    return isinstance(term, (AVar, Store))
+
+
+def _base_and_indices(term: Term) -> tuple[Term, list[Term]]:
+    """The base array variable and stored indices of a store chain."""
+    indices: list[Term] = []
+    while isinstance(term, Store):
+        indices.append(term.index)
+        term = term.array
+    if not isinstance(term, AVar):
+        raise UnsupportedArrayFormula(
+            f"array term with non-variable base: {term!r}"
+        )
+    return term, indices
+
+
+def _rewrite_array_equality(lhs: Term, rhs: Term) -> Term:
+    """Pointwise expansion of a store-chain equality (same base)."""
+    base_l, idx_l = _base_and_indices(lhs)
+    base_r, idx_r = _base_and_indices(rhs)
+    if base_l != base_r:
+        raise UnsupportedArrayFormula(
+            f"equality between different arrays: {base_l!r} == {base_r!r}"
+        )
+    parts = [
+        eq(select(lhs, index), select(rhs, index))
+        for index in idx_l + idx_r
+    ]
+    return and_(*parts)
+
+
+def _rewrite_equalities(term: Term) -> Term:
+    """Rewrite all array-sorted equalities bottom-up."""
+    if isinstance(term, (IntConst, BoolConst, Var, AVar)):
+        return term
+    if isinstance(term, Add):
+        return add(*(_rewrite_equalities(a) for a in term.args))
+    if isinstance(term, Mul):
+        return mul(term.coeff, _rewrite_equalities(term.arg))
+    if isinstance(term, Not):
+        return not_(_rewrite_equalities(term.arg))
+    if isinstance(term, And):
+        return and_(*(_rewrite_equalities(a) for a in term.args))
+    if isinstance(term, Or):
+        return or_(*(_rewrite_equalities(a) for a in term.args))
+    if isinstance(term, Le):
+        return le(_rewrite_equalities(term.lhs), _rewrite_equalities(term.rhs))
+    if isinstance(term, Ite):
+        return ite(
+            _rewrite_equalities(term.cond),
+            _rewrite_equalities(term.then),
+            _rewrite_equalities(term.else_),
+        )
+    if isinstance(term, Select):
+        return select(
+            _rewrite_equalities(term.array), _rewrite_equalities(term.index)
+        )
+    if isinstance(term, Store):
+        from .terms import store
+
+        return store(
+            _rewrite_equalities(term.array),
+            _rewrite_equalities(term.index),
+            _rewrite_equalities(term.value),
+        )
+    if isinstance(term, Eq):
+        lhs = _rewrite_equalities(term.lhs)
+        rhs = _rewrite_equalities(term.rhs)
+        if _is_array_sorted(lhs) or _is_array_sorted(rhs):
+            if not (_is_array_sorted(lhs) and _is_array_sorted(rhs)):
+                raise UnsupportedArrayFormula(
+                    f"ill-sorted equality: {lhs!r} == {rhs!r}"
+                )
+            return _rewrite_array_equality(lhs, rhs)
+        return eq(lhs, rhs)
+    raise TypeError(f"unknown term node: {term!r}")  # pragma: no cover
+
+
+@dataclass
+class _AckermannState:
+    reads: dict[tuple[str, Term], Var]
+    counter: itertools.count
+
+    def read_var(self, array_name: str, index: Term) -> Var:
+        key = (array_name, index)
+        hit = self.reads.get(key)
+        if hit is None:
+            hit = var(f"{array_name}!read!{next(self.counter)}")
+            self.reads[key] = hit
+        return hit
+
+
+def _replace_selects(term: Term, state: _AckermannState) -> Term:
+    if isinstance(term, (IntConst, BoolConst, Var)):
+        return term
+    if isinstance(term, AVar):
+        raise UnsupportedArrayFormula(
+            f"array variable in non-read position: {term!r}"
+        )
+    if isinstance(term, Select):
+        index = _replace_selects(term.index, state)
+        if not isinstance(term.array, AVar):
+            raise UnsupportedArrayFormula(
+                f"unresolved read over a store: {term!r}"
+            )
+        return state.read_var(term.array.name, index)
+    if isinstance(term, Add):
+        return add(*(_replace_selects(a, state) for a in term.args))
+    if isinstance(term, Mul):
+        return mul(term.coeff, _replace_selects(term.arg, state))
+    if isinstance(term, Not):
+        return not_(_replace_selects(term.arg, state))
+    if isinstance(term, And):
+        return and_(*(_replace_selects(a, state) for a in term.args))
+    if isinstance(term, Or):
+        return or_(*(_replace_selects(a, state) for a in term.args))
+    if isinstance(term, Le):
+        return le(
+            _replace_selects(term.lhs, state), _replace_selects(term.rhs, state)
+        )
+    if isinstance(term, Eq):
+        return eq(
+            _replace_selects(term.lhs, state), _replace_selects(term.rhs, state)
+        )
+    if isinstance(term, Ite):
+        return ite(
+            _replace_selects(term.cond, state),
+            _replace_selects(term.then, state),
+            _replace_selects(term.else_, state),
+        )
+    raise TypeError(f"unknown term node: {term!r}")  # pragma: no cover
+
+
+def ackermannize(formula: Term) -> Term:
+    """An equisatisfiable pure-LIA formula for an array formula.
+
+    The models of the result restrict to models of the input on the
+    shared (non-array) variables.
+    """
+    rewritten = _rewrite_equalities(formula)
+    state = _AckermannState(reads={}, counter=itertools.count())
+    core = _replace_selects(rewritten, state)
+    consistency: list[Term] = []
+    by_array: dict[str, list[tuple[Term, Var]]] = {}
+    for (array_name, index), read in state.reads.items():
+        by_array.setdefault(array_name, []).append((index, read))
+    for entries in by_array.values():
+        for (idx_i, read_i), (idx_j, read_j) in itertools.combinations(entries, 2):
+            consistency.append(
+                implies(eq(idx_i, idx_j), eq(read_i, read_j))
+            )
+    return and_(core, *consistency)

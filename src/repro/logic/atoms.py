@@ -1,0 +1,177 @@
+"""Linear-arithmetic atom normal form.
+
+The theory solver works on *linear constraints* of the form
+``Σ c_i·x_i + k <= 0`` (``LinearConstraint``).  This module converts
+integer-sorted terms into linear expressions (``LinExpr``) and boolean
+atoms (``Le`` / ``Eq``) into constraints.
+
+``Ite`` nodes cannot be represented linearly; they are lifted into the
+boolean structure beforehand (see :func:`repro.logic.solver.lift_ite`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from .terms import Add, Eq, IntConst, Ite, Le, Mul, Term, Var, add, intc, mul, var
+
+
+class LinExpr:
+    """A linear expression ``Σ coeffs[x]·x + const`` with integer coefficients.
+
+    Immutable; the hash is precomputed because these values are hashed
+    millions of times inside the solver's feasibility caches.
+    """
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: tuple[tuple[str, int], ...], const: int) -> None:
+        # coeffs must be sorted by variable name with no zero entries
+        object.__setattr__(self, "coeffs", coeffs)
+        object.__setattr__(self, "const", const)
+        object.__setattr__(self, "_hash", hash((coeffs, const)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("LinExpr is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and self._hash == other._hash
+            and self.const == other.const
+            and self.coeffs == other.coeffs
+        )
+
+    @staticmethod
+    def of(mapping: Mapping[str, int], const: int) -> "LinExpr":
+        items = tuple(sorted((v, c) for v, c in mapping.items() if c != 0))
+        return LinExpr(items, const)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        out = self.as_dict()
+        for v, c in other.coeffs:
+            out[v] = out.get(v, 0) + c
+        return LinExpr.of(out, self.const + other.const)
+
+    def scale(self, k: int) -> "LinExpr":
+        return LinExpr.of({v: c * k for v, c in self.coeffs}, self.const * k)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(-1)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.coeffs)
+
+    def evaluate(self, env: Mapping[str, Fraction | int]) -> Fraction:
+        total = Fraction(self.const)
+        for v, c in self.coeffs:
+            total += c * Fraction(env[v])
+        return total
+
+    def to_term(self) -> Term:
+        parts: list[Term] = [mul(c, var(v)) for v, c in self.coeffs]
+        parts.append(intc(self.const))
+        return add(*parts)
+
+    def __repr__(self) -> str:
+        if not self.coeffs:
+            return str(self.const)
+        body = " + ".join(f"{c}*{v}" for v, c in self.coeffs)
+        return f"{body} + {self.const}" if self.const else body
+
+
+class NonLinearError(ValueError):
+    """Raised when a term is not linear (e.g. contains an un-lifted Ite)."""
+
+
+def linearize(term: Term) -> LinExpr:
+    """Convert an integer-sorted term into a :class:`LinExpr`.
+
+    Raises :class:`NonLinearError` on ``Ite`` nodes and boolean-sorted
+    terms; callers must lift those first.
+    """
+    if isinstance(term, IntConst):
+        return LinExpr((), term.value)
+    if isinstance(term, Var):
+        return LinExpr(((term.name, 1),), 0)
+    if isinstance(term, Add):
+        acc = LinExpr((), 0)
+        for a in term.args:
+            acc = acc + linearize(a)
+        return acc
+    if isinstance(term, Mul):
+        return linearize(term.arg).scale(term.coeff)
+    if isinstance(term, Ite):
+        raise NonLinearError(f"ite must be lifted before linearization: {term!r}")
+    raise NonLinearError(f"not an integer-sorted linear term: {term!r}")
+
+
+class LinearConstraint:
+    """The constraint ``expr <= 0`` over the integers (hash precomputed)."""
+
+    __slots__ = ("expr", "_hash")
+
+    def __init__(self, expr: LinExpr) -> None:
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "_hash", hash(expr) ^ 0x5EED)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("LinearConstraint is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LinearConstraint) and self.expr == other.expr
+
+    def negate(self) -> "LinearConstraint":
+        # not (e <= 0)  iff  e >= 1  iff  -e + 1 <= 0   (integers)
+        return LinearConstraint(self.expr.scale(-1) + LinExpr((), 1))
+
+    def holds(self, env: Mapping[str, Fraction | int]) -> bool:
+        return self.expr.evaluate(env) <= 0
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    @property
+    def trivially_true(self) -> bool:
+        return self.expr.is_const and self.expr.const <= 0
+
+    @property
+    def trivially_false(self) -> bool:
+        return self.expr.is_const and self.expr.const > 0
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} <= 0"
+
+
+def atom_constraints(atom: Term, *, negated: bool) -> tuple[LinearConstraint, ...]:
+    """Linear constraints equivalent to *atom* (or its negation).
+
+    ``Le`` yields one constraint; ``Eq`` yields two when positive.  A
+    negated ``Eq`` is a disjunction and cannot be returned as a
+    conjunction of constraints — the solver splits those during search,
+    so this function raises ``ValueError`` for that case.
+    """
+    if isinstance(atom, Le):
+        c = LinearConstraint(linearize(atom.lhs) - linearize(atom.rhs))
+        return (c.negate(),) if negated else (c,)
+    if isinstance(atom, Eq):
+        if negated:
+            raise ValueError("negated equality is disjunctive; split it first")
+        diff = linearize(atom.lhs) - linearize(atom.rhs)
+        return (LinearConstraint(diff), LinearConstraint(diff.scale(-1)))
+    raise ValueError(f"not a linear atom: {atom!r}")

@@ -1,0 +1,239 @@
+"""Fourier–Motzkin elimination and integer model search.
+
+The theory backend for conjunctions of linear constraints:
+
+* :func:`fm_project` eliminates a variable over the rationals (used for
+  quantifier elimination and as the UNSAT core of the solver — rational
+  infeasibility implies integer infeasibility);
+* :func:`rational_model` finds a rational model by full elimination and
+  back-substitution;
+* :func:`integer_model` finds an *integer* model via branch-and-bound on
+  fractional coordinates.
+
+Constraints are integer-tightened when normalized (dividing by the gcd of
+the coefficients and rounding the constant up), which makes the
+elimination considerably more complete over the integers, e.g.
+``2x + 1 <= 0`` tightens to ``x + 1 <= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .atoms import LinearConstraint, LinExpr
+
+
+class BranchBudgetExceeded(Exception):
+    """Raised when branch-and-bound exceeds its node budget."""
+
+
+_tighten_cache: dict[LinearConstraint, LinearConstraint] = {}
+
+
+def tighten(c: LinearConstraint) -> LinearConstraint:
+    """Integer-tighten: divide by the gcd of the coefficients.
+
+    ``Σ c_i·x_i + k <= 0`` with ``g = gcd(c_i)`` is equivalent (over the
+    integers) to ``Σ (c_i/g)·x_i + ceil(k/g) <= 0``.
+    """
+    if not c.expr.coeffs:
+        return c
+    cached = _tighten_cache.get(c)
+    if cached is not None:
+        return cached
+    g = math.gcd(*(abs(co) for _, co in c.expr.coeffs))
+    if g <= 1:
+        result = c
+    else:
+        coeffs = {v: co // g for v, co in c.expr.coeffs}
+        const = math.ceil(Fraction(c.expr.const, g))
+        result = LinearConstraint(LinExpr.of(coeffs, const))
+    if len(_tighten_cache) < 500_000:
+        _tighten_cache[c] = result
+    return result
+
+
+def _dedup(constraints: Iterable[LinearConstraint]) -> list[LinearConstraint] | None:
+    """Tighten, deduplicate, and drop trivially-true constraints.
+
+    Returns ``None`` if some constraint is trivially false.
+    """
+    out: list[LinearConstraint] = []
+    seen: set[LinearConstraint] = set()
+    for c in constraints:
+        c = tighten(c)
+        if c.trivially_false:
+            return None
+        if c.trivially_true or c in seen:
+            continue
+        seen.add(c)
+        out.append(c)
+    return out
+
+
+def fm_project(
+    constraints: Sequence[LinearConstraint], variable: str
+) -> list[LinearConstraint] | None:
+    """Eliminate *variable*: rational Fourier–Motzkin projection.
+
+    Returns the projected constraint set, or ``None`` if a trivially
+    false constraint arises (the input is rationally — hence integrally —
+    infeasible).
+    """
+    lowers: list[tuple[int, LinExpr]] = []  # c·x >= -rest  (coeff c < 0)
+    uppers: list[tuple[int, LinExpr]] = []  # c·x <= -rest  (coeff c > 0)
+    rest: list[LinearConstraint] = []
+    for c in constraints:
+        coeff = c.expr.as_dict().get(variable, 0)
+        if coeff == 0:
+            rest.append(c)
+            continue
+        remainder = LinExpr.of(
+            {v: co for v, co in c.expr.coeffs if v != variable}, c.expr.const
+        )
+        if coeff > 0:
+            uppers.append((coeff, remainder))
+        else:
+            lowers.append((-coeff, remainder))
+    new: list[LinearConstraint] = list(rest)
+    for cu, ru in uppers:
+        for cl, rl in lowers:
+            # cu·x + ru <= 0 and -cl·x + rl <= 0
+            # =>  cl·ru + cu·rl <= 0
+            combined = ru.scale(cl) + rl.scale(cu)
+            new.append(LinearConstraint(combined))
+    return _dedup(new)
+
+
+def _bounds_for(
+    variable: str,
+    constraints: Sequence[LinearConstraint],
+    env: dict[str, Fraction],
+) -> tuple[Fraction | None, Fraction | None]:
+    """Lower and upper bounds on *variable* given values for all others."""
+    lo: Fraction | None = None
+    hi: Fraction | None = None
+    for c in constraints:
+        coeff = c.expr.as_dict().get(variable, 0)
+        if coeff == 0:
+            continue
+        remainder = LinExpr.of(
+            {v: co for v, co in c.expr.coeffs if v != variable}, c.expr.const
+        )
+        value = remainder.evaluate(env)
+        bound = Fraction(-value, coeff)
+        if coeff > 0:  # x <= bound
+            hi = bound if hi is None else min(hi, bound)
+        else:  # x >= bound
+            lo = bound if lo is None else max(lo, bound)
+    return lo, hi
+
+
+def rational_model(
+    constraints: Sequence[LinearConstraint],
+) -> dict[str, Fraction] | None:
+    """A rational model of the *integer-tightened* conjunction.
+
+    Because every projection step gcd-tightens (see :func:`tighten`),
+    this is the relaxation with integer cutting planes: all integer
+    solutions are preserved, but some purely-rational solutions may be
+    cut off (e.g. ``x == y && x + y == 1`` is reported infeasible).
+    ``None`` therefore soundly implies integer infeasibility, which is
+    the only way the solver consumes this function.
+    """
+    cons = _dedup(constraints)
+    if cons is None:
+        return None
+    variables = sorted({v for c in cons for v in c.variables()})
+    # eliminate in order, remembering each stage's constraint set
+    stages: list[tuple[str, list[LinearConstraint]]] = []
+    current = cons
+    for v in variables:
+        stages.append((v, current))
+        projected = fm_project(current, v)
+        if projected is None:
+            return None
+        current = projected
+    # 'current' now has no variables; _dedup already rejected falsities.
+    env: dict[str, Fraction] = {}
+    for v, cons_at in reversed(stages):
+        lo, hi = _bounds_for(v, cons_at, env)
+        env[v] = _pick_value(lo, hi)
+    return env
+
+
+def _pick_value(lo: Fraction | None, hi: Fraction | None) -> Fraction:
+    """A value within [lo, hi], preferring integers."""
+    if lo is None and hi is None:
+        return Fraction(0)
+    if lo is None:
+        return Fraction(math.floor(hi))
+    if hi is None:
+        return Fraction(math.ceil(lo))
+    if lo > hi:  # pragma: no cover - elimination guarantees consistency
+        raise AssertionError("inconsistent bounds after FM elimination")
+    ceil_lo = Fraction(math.ceil(lo))
+    if ceil_lo <= hi:
+        return ceil_lo
+    return (lo + hi) / 2
+
+
+_feasible_cache: dict[tuple[LinearConstraint, ...], bool] = {}
+
+
+def rationally_feasible(constraints: Sequence[LinearConstraint]) -> bool:
+    """Memoized rational feasibility (the DPLL pruning check).
+
+    Rational infeasibility soundly implies integer infeasibility.  The
+    cache is keyed directly on the (order-sensitive) constraint tuple so
+    the hot path is a single hash lookup; constraint tuples recur
+    heavily across DPLL branches.
+    """
+    key = tuple(constraints)
+    hit = _feasible_cache.get(key)
+    if hit is None:
+        cons = _dedup(key)
+        hit = cons is not None and rational_model(cons) is not None
+        if len(_feasible_cache) < 500_000:
+            _feasible_cache[key] = hit
+    return hit
+
+
+def integer_model(
+    constraints: Sequence[LinearConstraint], *, budget: int = 400
+) -> dict[str, int] | None:
+    """An integer model of the conjunction, or ``None`` if infeasible.
+
+    Uses branch-and-bound over :func:`rational_model`.  Raises
+    :class:`BranchBudgetExceeded` if the node budget runs out before a
+    verdict (callers treat this as "unknown").
+    """
+    state = {"nodes": 0}
+
+    def search(cons: list[LinearConstraint]) -> dict[str, int] | None:
+        state["nodes"] += 1
+        if state["nodes"] > budget:
+            raise BranchBudgetExceeded()
+        model = rational_model(cons)
+        if model is None:
+            return None
+        fractional = [(v, q) for v, q in model.items() if q.denominator != 1]
+        if not fractional:
+            return {v: int(q) for v, q in model.items()}
+        v, q = fractional[0]
+        floor_q, ceil_q = math.floor(q), math.ceil(q)
+        # x <= floor(q):   x - floor(q) <= 0
+        below = cons + [LinearConstraint(LinExpr.of({v: 1}, -floor_q))]
+        hit = search(below)
+        if hit is not None:
+            return hit
+        # x >= ceil(q):   -x + ceil(q) <= 0
+        above = cons + [LinearConstraint(LinExpr.of({v: -1}, ceil_q))]
+        return search(above)
+
+    deduped = _dedup(constraints)
+    if deduped is None:
+        return None
+    return search(deduped)

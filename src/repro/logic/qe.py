@@ -1,0 +1,110 @@
+"""Quantifier elimination for predicate generation.
+
+The refinement loop keeps all proof predicates quantifier-free over the
+program variables.  The two places quantifiers would appear — ``havoc``
+statements in wp/sp — are eliminated here.
+
+Elimination is by DNF expansion and per-cube Fourier–Motzkin projection.
+Over the rationals this is exact; over the integers projection may be an
+over-approximation of ``exists`` (and correspondingly an
+under-approximation of ``forall``).  This is fine for our use: generated
+predicates are *candidates* whose Hoare triples are re-checked by the
+solver (see :mod:`repro.verifier.interpolate`), and integer tightening in
+:func:`repro.logic.fourier.tighten` removes the slack in the common
+cases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .atoms import LinearConstraint, atom_constraints
+from .fourier import fm_project, tighten
+from .solver import lift_ite, to_nnf, _branches, _is_literal
+from .terms import (
+    And,
+    BoolConst,
+    FALSE,
+    Le,
+    Not,
+    Or,
+    TRUE,
+    Term,
+    and_,
+    intc,
+    le,
+    not_,
+    or_,
+)
+
+
+def _cubes(formula: Term) -> Iterator[tuple[LinearConstraint, ...]]:
+    """Enumerate DNF cubes of an NNF formula as constraint tuples."""
+
+    def go(pending: list[Term], acc: tuple[LinearConstraint, ...]) -> Iterator[tuple[LinearConstraint, ...]]:
+        if not pending:
+            yield acc
+            return
+        f, rest = pending[0], pending[1:]
+        if isinstance(f, BoolConst):
+            if f.value:
+                yield from go(rest, acc)
+            return
+        if isinstance(f, And):
+            yield from go(list(f.args) + rest, acc)
+            return
+        if isinstance(f, Or):
+            for arg in f.args:
+                yield from go([arg] + rest, acc)
+            return
+        if _is_literal(f):
+            for branch in _branches(f):
+                yield from go(rest, acc + branch)
+            return
+        raise TypeError(f"unexpected node in cube enumeration: {f!r}")
+
+    yield from go([formula], ())
+
+
+def _constraints_to_term(constraints: Iterable[LinearConstraint]) -> Term:
+    parts = []
+    for c in constraints:
+        c = tighten(c)
+        if c.trivially_false:
+            return FALSE
+        if c.trivially_true:
+            continue
+        parts.append(le(c.expr.to_term(), intc(0)))
+    return and_(*parts)
+
+
+def eliminate_exists(variables: Iterable[str], formula: Term) -> Term:
+    """A quantifier-free formula equivalent to ``∃ variables. formula``.
+
+    Exact over the rationals; over the integers the result may be weaker
+    (implied by the true projection) — see the module docstring.
+    """
+    names = list(variables)
+    if not names:
+        return formula
+    nnf = to_nnf(lift_ite(formula))
+    disjuncts: list[Term] = []
+    for cube in _cubes(nnf):
+        projected: list[LinearConstraint] | None = list(cube)
+        for name in names:
+            projected = fm_project(projected, name)
+            if projected is None:
+                break
+        if projected is None:
+            continue
+        disjuncts.append(_constraints_to_term(projected))
+    return or_(*disjuncts)
+
+
+def eliminate_forall(variables: Iterable[str], formula: Term) -> Term:
+    """A quantifier-free formula for ``∀ variables. formula``.
+
+    Over the integers the result may be *stronger* than the true
+    universal projection (dual of :func:`eliminate_exists`).
+    """
+    return not_(eliminate_exists(variables, not_(formula)))

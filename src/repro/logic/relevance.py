@@ -1,0 +1,62 @@
+"""Relevance filtering of conjunctive contexts.
+
+For a satisfiable conjunction φ = c₁ ∧ ... ∧ cₖ and a goal ψ, only the
+conjuncts transitively variable-connected to ψ matter:
+
+    if vars(φ₁) ∩ vars-closure(ψ) = ∅ and φ₁ is satisfiable, then
+    (φ₁ ∧ φ₂) ⇒ ψ  iff  φ₂ ⇒ ψ
+
+(a model of φ₂ ∧ ¬ψ extends to the disjoint variables of φ₁ by any
+model of φ₁).  The verifier's assertions are known-satisfiable, so
+filtering is *exact* there; in general it only weakens the context,
+which is the sound direction for every use in this code base.
+
+This slashes the size of proof-sensitive commutativity and Hoare-triple
+queries and, because many Floyd/Hoare states project to the same
+relevant core, multiplies solver cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .terms import And, Term, and_, free_vars
+
+
+def conjuncts_of(formula: Term) -> tuple[Term, ...]:
+    if isinstance(formula, And):
+        return formula.args
+    return (formula,)
+
+
+_context_cache: dict[tuple[Term, frozenset[str]], Term] = {}
+
+
+def relevant_context(phi: Term, goal_vars: frozenset[str]) -> Term:
+    """The conjuncts of *phi* transitively variable-connected to *goal_vars*."""
+    parts = conjuncts_of(phi)
+    if len(parts) <= 1:
+        return phi
+    key = (phi, goal_vars)
+    cached = _context_cache.get(key)
+    if cached is not None:
+        return cached
+    result = _compute_context(parts, goal_vars)
+    if len(_context_cache) < 200_000:
+        _context_cache[key] = result
+    return result
+
+
+def _compute_context(parts: tuple[Term, ...], goal_vars: frozenset[str]) -> Term:
+    part_vars = [free_vars(p) for p in parts]
+    reached = set(goal_vars)
+    selected = [False] * len(parts)
+    changed = True
+    while changed:
+        changed = False
+        for i, vs in enumerate(part_vars):
+            if not selected[i] and (vs & reached or not vs):
+                selected[i] = True
+                reached |= vs
+                changed = True
+    return and_(*(p for i, p in enumerate(parts) if selected[i]))

@@ -1,0 +1,99 @@
+"""Solver-backed formula simplification.
+
+The smart constructors in :mod:`repro.logic.terms` perform only local,
+syntactic normalization.  This module offers *semantic* cleanup —
+dropping redundant conjuncts/disjuncts and collapsing decided
+subformulas — used to keep reported proofs readable
+(``VerificationResult.predicates``) and available as a general utility.
+
+Every function preserves logical equivalence; on :class:`SolverUnknown`
+the input subformula is kept as-is.
+"""
+
+from __future__ import annotations
+
+from .solver import Solver, SolverUnknown
+from .terms import And, FALSE, Not, Or, TRUE, Term, and_, not_, or_
+
+
+def _implied(solver: Solver, context: Term, part: Term) -> bool:
+    try:
+        return solver.implies(context, part)
+    except SolverUnknown:
+        return False
+
+
+def drop_redundant_conjuncts(formula: Term, solver: Solver | None = None) -> Term:
+    """Remove conjuncts implied by the remaining ones.
+
+    Scans right-to-left so earlier (usually more fundamental) conjuncts
+    are preferred as the survivors.
+    """
+    if not isinstance(formula, And):
+        return formula
+    solver = solver or Solver()
+    kept = list(formula.args)
+    index = len(kept) - 1
+    while index >= 0 and len(kept) > 1:
+        candidate = kept[index]
+        rest = and_(*(p for i, p in enumerate(kept) if i != index))
+        if _implied(solver, rest, candidate):
+            kept.pop(index)
+        index -= 1
+    return and_(*kept)
+
+
+def drop_redundant_disjuncts(formula: Term, solver: Solver | None = None) -> Term:
+    """Remove disjuncts that imply the remaining ones (dual)."""
+    if not isinstance(formula, Or):
+        return formula
+    solver = solver or Solver()
+    kept = list(formula.args)
+    index = len(kept) - 1
+    while index >= 0 and len(kept) > 1:
+        candidate = kept[index]
+        rest = or_(*(p for i, p in enumerate(kept) if i != index))
+        if _implied(solver, candidate, rest):
+            kept.pop(index)
+        index -= 1
+    return or_(*kept)
+
+
+def simplify(formula: Term, solver: Solver | None = None) -> Term:
+    """Recursive semantic simplification (equivalence-preserving).
+
+    * decided subformulas collapse to true/false;
+    * redundant conjuncts/disjuncts are dropped;
+    * negations are simplified through their argument.
+
+    Solver-intensive — intended for presentation and for shrinking a
+    final proof, not for the inner verification loop.
+    """
+    solver = solver or Solver()
+    try:
+        if not solver.is_sat(formula):
+            return FALSE
+        if solver.is_valid(formula):
+            return TRUE
+    except SolverUnknown:
+        return formula
+    if isinstance(formula, And):
+        parts = tuple(simplify(p, solver) for p in formula.args)
+        return drop_redundant_conjuncts(and_(*parts), solver)
+    if isinstance(formula, Or):
+        parts = tuple(simplify(p, solver) for p in formula.args)
+        return drop_redundant_disjuncts(or_(*parts), solver)
+    if isinstance(formula, Not):
+        return not_(simplify(formula.arg, solver))
+    return formula
+
+
+def simplify_all(formulas, solver: Solver | None = None) -> list[Term]:
+    """Simplify a predicate collection, dropping trivial results."""
+    solver = solver or Solver()
+    out: list[Term] = []
+    for formula in formulas:
+        reduced = simplify(formula, solver)
+        if reduced not in (TRUE, FALSE) and reduced not in out:
+            out.append(reduced)
+    return out

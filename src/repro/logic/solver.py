@@ -1,0 +1,370 @@
+"""Satisfiability and validity for quantifier-free LIA + booleans.
+
+The solver performs DPLL-style case splitting over the boolean structure
+of a formula in NNF, accumulating linear constraints along each branch
+and pruning infeasible branches with rational Fourier–Motzkin checks.
+Leaves are decided by integer branch-and-bound (:mod:`repro.logic.fourier`).
+
+Soundness notes:
+
+* rational infeasibility implies integer infeasibility, so UNSAT answers
+  are always sound;
+* SAT answers come with an integer model, so they are sound as well;
+* in the (rare, bounded-budget) case where branch-and-bound cannot reach
+  a verdict, :class:`SolverUnknown` is raised; callers treat "unknown"
+  conservatively (e.g. commutativity falls back to "does not commute",
+  exactly as GemCutter does with its SMT timeout — see §8 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from .atoms import LinearConstraint, atom_constraints, linearize
+from .fourier import (
+    BranchBudgetExceeded,
+    integer_model,
+    rational_model,
+    rationally_feasible,
+)
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    FALSE,
+    IntConst,
+    Ite,
+    Le,
+    Mul,
+    Add,
+    Not,
+    Or,
+    TRUE,
+    Term,
+    Var,
+    and_,
+    eq,
+    evaluate,
+    ge,
+    gt,
+    ite,
+    le,
+    lt,
+    not_,
+    or_,
+)
+
+
+class SolverUnknown(Exception):
+    """The solver could not decide the query within its budget."""
+
+
+# ---------------------------------------------------------------------------
+# Ite lifting
+# ---------------------------------------------------------------------------
+
+def _find_ite(term: Term) -> Ite | None:
+    """The first ``Ite`` node nested inside an integer-sorted term."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Ite):
+            return t
+        if isinstance(t, Add):
+            stack.extend(t.args)
+        elif isinstance(t, Mul):
+            stack.append(t.arg)
+    return None
+
+
+def _replace(term: Term, target: Term, replacement: Term) -> Term:
+    """Replace all occurrences of *target* inside an integer-sorted term."""
+    if term == target:
+        return replacement
+    if isinstance(term, Add):
+        from .terms import add
+
+        return add(*(_replace(a, target, replacement) for a in term.args))
+    if isinstance(term, Mul):
+        from .terms import mul
+
+        return mul(term.coeff, _replace(term.arg, target, replacement))
+    return term
+
+
+def lift_ite(formula: Term) -> Term:
+    """Rewrite a formula so no atom contains an ``Ite`` node.
+
+    An atom ``A[ite(c, t, e)]`` becomes ``(c && A[t]) || (!c && A[e])``.
+    The condition ``c`` is itself recursively lifted.
+    """
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Not):
+        return not_(lift_ite(formula.arg))
+    if isinstance(formula, And):
+        return and_(*(lift_ite(a) for a in formula.args))
+    if isinstance(formula, Or):
+        return or_(*(lift_ite(a) for a in formula.args))
+    if isinstance(formula, (Le, Eq)):
+        sides = (formula.lhs, formula.rhs)
+        for side in sides:
+            found = _find_ite(side)
+            if found is not None:
+                then_atom = _rebuild_atom(formula, found, found.then)
+                else_atom = _rebuild_atom(formula, found, found.else_)
+                cond = lift_ite(found.cond)
+                return or_(
+                    and_(cond, lift_ite(then_atom)),
+                    and_(not_(cond), lift_ite(else_atom)),
+                )
+        return formula
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _rebuild_atom(atom: Term, target: Term, replacement: Term) -> Term:
+    if isinstance(atom, Le):
+        return le(_replace(atom.lhs, target, replacement), _replace(atom.rhs, target, replacement))
+    if isinstance(atom, Eq):
+        return eq(_replace(atom.lhs, target, replacement), _replace(atom.rhs, target, replacement))
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+# ---------------------------------------------------------------------------
+# NNF
+# ---------------------------------------------------------------------------
+
+def to_nnf(formula: Term, *, negate: bool = False) -> Term:
+    """Negation normal form; negations remain only directly on atoms."""
+    if isinstance(formula, BoolConst):
+        return BoolConst(formula.value != negate)
+    if isinstance(formula, Not):
+        return to_nnf(formula.arg, negate=not negate)
+    if isinstance(formula, And):
+        parts = tuple(to_nnf(a, negate=negate) for a in formula.args)
+        return or_(*parts) if negate else and_(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(to_nnf(a, negate=negate) for a in formula.args)
+        return and_(*parts) if negate else or_(*parts)
+    if isinstance(formula, (Le, Eq)):
+        return not_(formula) if negate else formula
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# DPLL-style search
+# ---------------------------------------------------------------------------
+
+_branches_cache: dict[Term, tuple[tuple[LinearConstraint, ...], ...]] = {}
+
+
+def _branches(literal: Term) -> tuple[tuple[LinearConstraint, ...], ...]:
+    """Constraint alternatives for one NNF literal (memoized).
+
+    Positive ``Le``/``Eq`` yield a single alternative; ``!Eq`` splits
+    into the two strict sides.
+    """
+    cached = _branches_cache.get(literal)
+    if cached is not None:
+        return cached
+    if isinstance(literal, Le):
+        result = (atom_constraints(literal, negated=False),)
+    elif isinstance(literal, Eq):
+        result = (atom_constraints(literal, negated=False),)
+    elif isinstance(literal, Not):
+        atom = literal.arg
+        if isinstance(atom, Le):
+            result = (atom_constraints(atom, negated=True),)
+        elif isinstance(atom, Eq):
+            # lhs != rhs:  lhs < rhs  or  lhs > rhs
+            result = (
+                atom_constraints(lt(atom.lhs, atom.rhs), negated=False),
+                atom_constraints(gt(atom.lhs, atom.rhs), negated=False),
+            )
+        else:
+            raise TypeError(f"not an NNF literal: {literal!r}")
+    else:
+        raise TypeError(f"not an NNF literal: {literal!r}")
+    if len(_branches_cache) < 200_000:
+        _branches_cache[literal] = result
+    return result
+
+
+def _is_literal(f: Term) -> bool:
+    return isinstance(f, (Le, Eq)) or (isinstance(f, Not) and isinstance(f.arg, (Le, Eq)))
+
+
+class Solver:
+    """A caching solver facade.
+
+    All public methods accept arbitrary formulas (``Ite`` allowed) and
+    answer over the integers.  Results are memoized per formula, and the
+    number of (uncached) decision calls is tracked in :attr:`num_queries`
+    for the evaluation harness.
+    """
+
+    def __init__(
+        self,
+        *,
+        branch_budget: int = 400,
+        cache_size: int = 200_000,
+        node_budget: int = 200_000,
+    ) -> None:
+        self._branch_budget = branch_budget
+        self._cache_size = cache_size
+        self._node_budget = node_budget
+        self._nodes_this_query = 0
+        self._sat_cache: dict[Term, bool] = {}
+        self._model_pool: list[dict[str, int]] = []
+        self.num_queries = 0
+        #: optional absolute wall-clock deadline (time.perf_counter());
+        #: long-running queries abort with SolverUnknown past it
+        self.deadline: float | None = None
+
+    def _remember_model(self, model: dict[str, int]) -> None:
+        """Keep recent models for cheap SAT witnessing of later queries."""
+        if model and model not in self._model_pool:
+            self._model_pool.append(model)
+            if len(self._model_pool) > 64:
+                self._model_pool.pop(0)
+
+    def _model_pool_hit(self, formula: Term) -> bool:
+        """Does some cached model satisfy *formula*? (cheap pre-check)"""
+        from .terms import evaluate, free_vars
+
+        names = free_vars(formula)
+        for model in self._model_pool:
+            env = {name: model.get(name, 0) for name in names}
+            try:
+                if evaluate(formula, env):
+                    return True
+            except TypeError:  # pragma: no cover - defensive
+                return False
+        return False
+
+    # -- public API ---------------------------------------------------------
+
+    def is_sat(self, formula: Term) -> bool:
+        """Is *formula* satisfiable over the integers?"""
+        hit = self._sat_cache.get(formula)
+        if hit is not None:
+            return hit
+        if self._model_pool_hit(formula):
+            result = True
+        else:
+            result = self.model(formula) is not None
+        if len(self._sat_cache) < self._cache_size:
+            self._sat_cache[formula] = result
+        return result
+
+    def is_valid(self, formula: Term) -> bool:
+        """Is *formula* true under every integer assignment?"""
+        return not self.is_sat(not_(formula))
+
+    def implies(self, antecedent: Term, consequent: Term) -> bool:
+        """Does *antecedent* entail *consequent*?
+
+        A conjunctive consequent is split into one query per conjunct —
+        the queries are smaller and their cache entries are shared
+        across different enclosing conjunctions.
+        """
+        if antecedent == FALSE or consequent == TRUE or antecedent == consequent:
+            return True
+        if isinstance(consequent, And):
+            return all(self.implies(antecedent, part) for part in consequent.args)
+        return not self.is_sat(and_(antecedent, not_(consequent)))
+
+    def equivalent(self, a: Term, b: Term) -> bool:
+        return self.implies(a, b) and self.implies(b, a)
+
+    def model(self, formula: Term) -> dict[str, int] | None:
+        """An integer model of *formula*, or ``None`` if unsatisfiable."""
+        self.num_queries += 1
+        from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
+
+        if contains_arrays(formula):
+            try:
+                formula = ackermannize(formula)
+            except UnsupportedArrayFormula as exc:
+                raise SolverUnknown(str(exc)) from exc
+        nnf = to_nnf(lift_ite(formula))
+        self._nodes_this_query = 0
+        try:
+            model = self._search([nnf], ())
+        except BranchBudgetExceeded as exc:
+            raise SolverUnknown(f"budget exceeded for {formula!r}") from exc
+        if model is None:
+            return None
+        # Unconstrained variables (dropped by trivially-true constraints)
+        # still need a value for the model to be total over the formula.
+        from .terms import free_vars
+
+        for name in free_vars(formula):
+            model.setdefault(name, 0)
+        self._remember_model(model)
+        return model
+
+    # -- search -------------------------------------------------------------
+
+    def _search(
+        self, pending: list[Term], constraints: tuple[LinearConstraint, ...]
+    ) -> dict[str, int] | None:
+        self._nodes_this_query += 1
+        if self._nodes_this_query > self._node_budget:
+            raise SolverUnknown("per-query node budget exceeded")
+        if self.deadline is not None and self._nodes_this_query % 512 == 0:
+            import time
+
+            if time.perf_counter() > self.deadline:
+                raise SolverUnknown("solver deadline exceeded")
+        # Process conjuncts and literals first, delaying disjunctive splits.
+        pending = list(pending)
+        ors: list[Term] = []
+        work = list(pending)
+        gathered = list(constraints)
+        alternatives: list[Term] = []
+        while work:
+            f = work.pop()
+            if isinstance(f, BoolConst):
+                if not f.value:
+                    return None
+            elif isinstance(f, And):
+                work.extend(f.args)
+            elif isinstance(f, Or):
+                ors.append(f)
+            elif _is_literal(f):
+                branches = list(_branches(f))
+                if len(branches) == 1:
+                    gathered.extend(branches[0])
+                else:
+                    alternatives.append(f)  # disequality: split later
+            else:
+                raise TypeError(f"unexpected node in NNF search: {f!r}")
+        # Feasibility pruning before splitting.
+        if ors or alternatives:
+            if not rationally_feasible(gathered):
+                return None
+        if alternatives:
+            f = alternatives.pop()
+            rest = ors + alternatives
+            for branch in _branches(f):
+                hit = self._search(rest, tuple(gathered) + branch)
+                if hit is not None:
+                    return hit
+            return None
+        if ors:
+            f = ors.pop()
+            for arg in f.args:
+                hit = self._search(ors + [arg], tuple(gathered))
+                if hit is not None:
+                    return hit
+            return None
+        return integer_model(gathered, budget=self._branch_budget)
+
+
+_default_solver = Solver()
+
+
+def default_solver() -> Solver:
+    """The process-wide shared solver (shared cache)."""
+    return _default_solver

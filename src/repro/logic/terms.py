@@ -1,0 +1,543 @@
+"""Term language: quantifier-free linear integer arithmetic with booleans.
+
+Terms are immutable, hashable trees.  Construction goes through the smart
+constructors at the bottom of this module (``add``, ``and_``, ``le``, ...),
+which perform light normalization (constant folding, flattening,
+neutral-element removal) so that structurally equal formulas usually
+compare equal.  The full decision procedure lives in
+:mod:`repro.logic.solver`.
+
+Two sorts exist: ``INT`` and ``BOOL``.  Program variables are ``Var``
+nodes; the convention throughout the code base is that boolean program
+variables are modeled as 0/1 integers by the language front-end, so
+``Var`` is always of sort ``INT`` while formulas are of sort ``BOOL``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+
+class Term:
+    """Base class for all term nodes.
+
+    Subclasses are frozen dataclasses; equality and hashing are
+    structural.  ``Term`` instances must never be mutated.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "Term") -> "Term":
+        return and_(self, other)
+
+    def __or__(self, other: "Term") -> "Term":
+        return or_(self, other)
+
+    def __invert__(self) -> "Term":
+        return not_(self)
+
+    def implies(self, other: "Term") -> "Term":
+        return implies(self, other)
+
+
+@dataclass(frozen=True, slots=True)
+class IntConst(Term):
+    """An integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BoolConst(Term):
+    """A boolean literal (``true`` / ``false``)."""
+
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """An integer-sorted variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Add(Term):
+    """N-ary integer addition."""
+
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Mul(Term):
+    """Multiplication of a term by an integer coefficient (linear only)."""
+
+    coeff: int
+    arg: Term
+
+    def __repr__(self) -> str:
+        return f"{self.coeff}*{self.arg!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Ite(Term):
+    """Integer-sorted if-then-else."""
+
+    cond: Term
+    then: Term
+    else_: Term
+
+    def __repr__(self) -> str:
+        return f"ite({self.cond!r}, {self.then!r}, {self.else_!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class AVar(Term):
+    """An array-sorted variable (int -> int); models the heap (§8)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Term):
+    """Array read ``array[index]`` (int-sorted)."""
+
+    array: Term
+    index: Term
+
+    def __repr__(self) -> str:
+        return f"{self.array!r}[{self.index!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Term):
+    """Array write ``array[index := value]`` (array-sorted)."""
+
+    array: Term
+    index: Term
+    value: Term
+
+    def __repr__(self) -> str:
+        return f"{self.array!r}[{self.index!r} := {self.value!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Le(Term):
+    """Atom ``lhs <= rhs`` over integer terms."""
+
+    lhs: Term
+    rhs: Term
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} <= {self.rhs!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Eq(Term):
+    """Atom ``lhs == rhs`` over integer terms."""
+
+    lhs: Term
+    rhs: Term
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} == {self.rhs!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Term):
+    arg: Term
+
+    def __repr__(self) -> str:
+        return f"!{self.arg!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Term):
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " && ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Term):
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " || ".join(map(repr, self.args)) + ")"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+ZERO = IntConst(0)
+ONE = IntConst(1)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+def intc(value: int) -> IntConst:
+    """Integer constant."""
+    return IntConst(int(value))
+
+
+def boolc(value: bool) -> BoolConst:
+    return TRUE if value else FALSE
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def add(*args: Term) -> Term:
+    """Sum of integer terms, folding constants and flattening nested sums."""
+    flat: list[Term] = []
+    const = 0
+    for a in args:
+        if isinstance(a, Add):
+            flat.extend(a.args)
+        else:
+            flat.append(a)
+    terms: list[Term] = []
+    for a in flat:
+        if isinstance(a, IntConst):
+            const += a.value
+        elif isinstance(a, Mul) and a.coeff == 0:
+            pass
+        else:
+            terms.append(a)
+    if const != 0 or not terms:
+        terms.append(IntConst(const))
+    if len(terms) == 1:
+        return terms[0]
+    return Add(tuple(terms))
+
+
+def mul(coeff: int, arg: Term) -> Term:
+    """Product of an integer coefficient and a term."""
+    if coeff == 0:
+        return ZERO
+    if coeff == 1:
+        return arg
+    if isinstance(arg, IntConst):
+        return IntConst(coeff * arg.value)
+    if isinstance(arg, Mul):
+        return mul(coeff * arg.coeff, arg.arg)
+    if isinstance(arg, Add):
+        return add(*(mul(coeff, a) for a in arg.args))
+    return Mul(coeff, arg)
+
+
+def sub(lhs: Term, rhs: Term) -> Term:
+    return add(lhs, mul(-1, rhs))
+
+
+def neg(arg: Term) -> Term:
+    return mul(-1, arg)
+
+
+def ite(cond: Term, then: Term, else_: Term) -> Term:
+    if isinstance(cond, BoolConst):
+        return then if cond.value else else_
+    if then == else_:
+        return then
+    return Ite(cond, then, else_)
+
+
+def avar(name: str) -> AVar:
+    return AVar(name)
+
+
+def select(array: Term, index: Term) -> Term:
+    """Array read with read-over-write simplification.
+
+    ``store(a, i, v)[j]`` rewrites to ``ite(i == j, v, a[j])`` — after
+    full rewriting only reads on array *variables* remain, which the
+    solver Ackermannizes (see :mod:`repro.logic.arrays`).
+    """
+    if isinstance(array, Store):
+        same = eq(array.index, index)
+        if same == TRUE:
+            return array.value
+        if same == FALSE:
+            return select(array.array, index)
+        return ite(same, array.value, select(array.array, index))
+    return Select(array, index)
+
+
+def store(array: Term, index: Term, value: Term) -> Term:
+    """Array write; consecutive writes to the same index collapse."""
+    if isinstance(array, Store) and array.index == index:
+        return Store(array.array, index, value)
+    return Store(array, index, value)
+
+
+def le(lhs: Term, rhs: Term) -> Term:
+    diff = sub(lhs, rhs)
+    if isinstance(diff, IntConst):
+        return boolc(diff.value <= 0)
+    return Le(lhs, rhs)
+
+
+def lt(lhs: Term, rhs: Term) -> Term:
+    # over integers, a < b  iff  a + 1 <= b
+    return le(add(lhs, ONE), rhs)
+
+
+def ge(lhs: Term, rhs: Term) -> Term:
+    return le(rhs, lhs)
+
+
+def gt(lhs: Term, rhs: Term) -> Term:
+    return lt(rhs, lhs)
+
+
+def eq(lhs: Term, rhs: Term) -> Term:
+    if lhs == rhs:
+        return TRUE
+    diff = sub(lhs, rhs)
+    if isinstance(diff, IntConst):
+        return boolc(diff.value == 0)
+    return Eq(lhs, rhs)
+
+
+def ne(lhs: Term, rhs: Term) -> Term:
+    return not_(eq(lhs, rhs))
+
+
+def not_(arg: Term) -> Term:
+    if isinstance(arg, BoolConst):
+        return boolc(not arg.value)
+    if isinstance(arg, Not):
+        return arg.arg
+    return Not(arg)
+
+
+def and_(*args: Term) -> Term:
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, And):
+            flat.extend(a.args)
+        elif a == TRUE:
+            pass
+        elif a == FALSE:
+            return FALSE
+        else:
+            flat.append(a)
+    seen: list[Term] = []
+    for a in flat:
+        if a not in seen:
+            if not_(a) in seen:
+                return FALSE
+            seen.append(a)
+    if not seen:
+        return TRUE
+    if len(seen) == 1:
+        return seen[0]
+    return And(tuple(seen))
+
+
+def or_(*args: Term) -> Term:
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, Or):
+            flat.extend(a.args)
+        elif a == FALSE:
+            pass
+        elif a == TRUE:
+            return TRUE
+        else:
+            flat.append(a)
+    seen: list[Term] = []
+    for a in flat:
+        if a not in seen:
+            if not_(a) in seen:
+                return TRUE
+            seen.append(a)
+    if not seen:
+        return FALSE
+    if len(seen) == 1:
+        return seen[0]
+    return Or(tuple(seen))
+
+
+def implies(lhs: Term, rhs: Term) -> Term:
+    return or_(not_(lhs), rhs)
+
+
+def iff(lhs: Term, rhs: Term) -> Term:
+    return and_(implies(lhs, rhs), implies(rhs, lhs))
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+_free_vars_cache: dict[Term, frozenset[str]] = {}
+
+
+def free_vars(term: Term) -> frozenset[str]:
+    """The set of variable names occurring in *term* (memoized)."""
+    cached = _free_vars_cache.get(term)
+    if cached is not None:
+        return cached
+    result = _free_vars_uncached(term)
+    if len(_free_vars_cache) < 500_000:
+        _free_vars_cache[term] = result
+    return result
+
+
+def _free_vars_uncached(term: Term) -> frozenset[str]:
+    out: set[str] = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (Var, AVar)):
+            out.add(t.name)
+        elif isinstance(t, (IntConst, BoolConst)):
+            pass
+        elif isinstance(t, (Add, And, Or)):
+            stack.extend(t.args)
+        elif isinstance(t, Mul):
+            stack.append(t.arg)
+        elif isinstance(t, Not):
+            stack.append(t.arg)
+        elif isinstance(t, (Le, Eq)):
+            stack.append(t.lhs)
+            stack.append(t.rhs)
+        elif isinstance(t, Ite):
+            stack.extend((t.cond, t.then, t.else_))
+        elif isinstance(t, Select):
+            stack.extend((t.array, t.index))
+        elif isinstance(t, Store):
+            stack.extend((t.array, t.index, t.value))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown term node: {t!r}")
+    return frozenset(out)
+
+
+def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Simultaneously substitute variables by terms.
+
+    Substitution rebuilds the tree through the smart constructors, so the
+    result is normalized (e.g. constants fold away).
+    """
+    if not mapping:
+        return term
+    cache: dict[Term, Term] = {}
+
+    def go(t: Term) -> Term:
+        hit = cache.get(t)
+        if hit is not None:
+            return hit
+        if isinstance(t, Var):
+            out = mapping.get(t.name, t)
+        elif isinstance(t, AVar):
+            out = mapping.get(t.name, t)
+        elif isinstance(t, Select):
+            out = select(go(t.array), go(t.index))
+        elif isinstance(t, Store):
+            out = store(go(t.array), go(t.index), go(t.value))
+        elif isinstance(t, (IntConst, BoolConst)):
+            out = t
+        elif isinstance(t, Add):
+            out = add(*(go(a) for a in t.args))
+        elif isinstance(t, Mul):
+            out = mul(t.coeff, go(t.arg))
+        elif isinstance(t, Not):
+            out = not_(go(t.arg))
+        elif isinstance(t, And):
+            out = and_(*(go(a) for a in t.args))
+        elif isinstance(t, Or):
+            out = or_(*(go(a) for a in t.args))
+        elif isinstance(t, Le):
+            out = le(go(t.lhs), go(t.rhs))
+        elif isinstance(t, Eq):
+            out = eq(go(t.lhs), go(t.rhs))
+        elif isinstance(t, Ite):
+            out = ite(go(t.cond), go(t.then), go(t.else_))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown term node: {t!r}")
+        cache[t] = out
+        return out
+
+    return go(term)
+
+
+def rename(term: Term, mapping: Mapping[str, str]) -> Term:
+    """Substitute variables by variables."""
+    return substitute(term, {k: Var(v) for k, v in mapping.items()})
+
+
+def evaluate(term: Term, env: Mapping[str, int]):
+    """Evaluate *term* under a total integer environment.
+
+    Returns an ``int`` for integer-sorted terms and a ``bool`` for
+    boolean-sorted terms.  Raises ``KeyError`` for unbound variables.
+    """
+    if isinstance(term, IntConst):
+        return term.value
+    if isinstance(term, BoolConst):
+        return term.value
+    if isinstance(term, Var):
+        return env[term.name]
+    if isinstance(term, Add):
+        return sum(evaluate(a, env) for a in term.args)
+    if isinstance(term, Mul):
+        return term.coeff * evaluate(term.arg, env)
+    if isinstance(term, Not):
+        return not evaluate(term.arg, env)
+    if isinstance(term, And):
+        return all(evaluate(a, env) for a in term.args)
+    if isinstance(term, Or):
+        return any(evaluate(a, env) for a in term.args)
+    if isinstance(term, Le):
+        return evaluate(term.lhs, env) <= evaluate(term.rhs, env)
+    if isinstance(term, Eq):
+        return evaluate(term.lhs, env) == evaluate(term.rhs, env)
+    if isinstance(term, Ite):
+        branch = term.then if evaluate(term.cond, env) else term.else_
+        return evaluate(branch, env)
+    if isinstance(term, AVar):
+        # array values are mappings index -> value (missing cells are 0)
+        return env[term.name]
+    if isinstance(term, Select):
+        array = evaluate(term.array, env)
+        return dict(array).get(evaluate(term.index, env), 0)
+    if isinstance(term, Store):
+        array = dict(evaluate(term.array, env))
+        array[evaluate(term.index, env)] = evaluate(term.value, env)
+        return tuple(sorted(array.items()))
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_var(prefix: str = "aux") -> Var:
+    """A variable with a globally unique name (used for havoc / QE)."""
+    return Var(f"{prefix}!{next(_fresh_counter)}")
+
+
+def is_bool_sorted(term: Term) -> bool:
+    """True if *term* is a formula (boolean-sorted)."""
+    return isinstance(term, (BoolConst, Not, And, Or, Le, Eq))

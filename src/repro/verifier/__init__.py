@@ -1,0 +1,55 @@
+"""The verification algorithm: Floyd/Hoare automata, Algorithm 2, CEGAR."""
+
+from .certify import certify, certify_unreduced
+from .compositional import (
+    combine_verdicts,
+    observer_threads,
+    restrict_observer,
+    verify_each_thread,
+)
+from .checkproof import CheckDeadlineExceeded, CheckOutcome, ProofChecker, UselessStateCache
+from .hoare import BOTTOM, FloydHoareAutomaton
+from .interpolate import (
+    annotate_trace,
+    extract_predicates,
+    path_formula,
+    refutes,
+    trace_feasible,
+)
+from .portfolio import (
+    DEFAULT_RANDOM_SEEDS,
+    PortfolioResult,
+    standard_orders,
+    verify_portfolio,
+)
+from .refinement import VerifierConfig, verify
+from .stats import RoundStats, Verdict, VerificationResult
+
+__all__ = [
+    "certify",
+    "combine_verdicts",
+    "observer_threads",
+    "restrict_observer",
+    "verify_each_thread",
+    "certify_unreduced",
+    "CheckDeadlineExceeded",
+    "CheckOutcome",
+    "ProofChecker",
+    "UselessStateCache",
+    "BOTTOM",
+    "FloydHoareAutomaton",
+    "annotate_trace",
+    "extract_predicates",
+    "path_formula",
+    "refutes",
+    "trace_feasible",
+    "DEFAULT_RANDOM_SEEDS",
+    "PortfolioResult",
+    "standard_orders",
+    "verify_portfolio",
+    "VerifierConfig",
+    "verify",
+    "RoundStats",
+    "Verdict",
+    "VerificationResult",
+]

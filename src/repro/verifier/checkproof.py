@@ -1,0 +1,334 @@
+"""The proof check with on-the-fly, proof-sensitive sequentialization.
+
+This is Algorithm 2 of the paper: a search over tuples
+
+    ⟨ program location q, Floyd/Hoare assertion φ, sleep set S, context c ⟩
+
+that simultaneously (a) constructs the reduction — persistent-set
+pruning of the candidate letters, sleep-set pruning with *conditional*
+commutativity a ↷↷_φ b relative to the current proof assertion — and
+(b) checks that the candidate proof covers every trace of the reduction.
+A state whose assertion is ⊥ is covered and never expanded; a violation
+(or an exit state whose assertion does not entail the postcondition)
+reached with a non-⊥ assertion yields a counterexample trace.
+
+Two search strategies:
+
+* ``"bfs"`` (default) — returns a *shortest* uncovered trace, which
+  keeps refinement interpolants small;
+* ``"dfs"`` — faithful to Algorithm 2, and supports the cross-round
+  "useless state" cache of §7.2 (sound by monotonicity of
+  proof-sensitive commutativity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.commutativity import (
+    CommutativityRelation,
+    ConditionalCommutativity,
+)
+from ..core.persistent import PersistentSetProvider
+from ..core.preference import Context, PreferenceOrder
+from ..lang.program import ConcurrentProgram, ProductState
+from ..lang.statements import Statement
+from ..logic import Term
+from .hoare import FhState, FloydHoareAutomaton
+
+CheckState = tuple[ProductState, FhState, frozenset[Statement], Context]
+
+
+class CheckDeadlineExceeded(Exception):
+    """The per-run time budget expired mid-round."""
+
+
+@dataclass
+class CheckOutcome:
+    """Result of one proof check round."""
+
+    counterexample: tuple[Statement, ...] | None
+    states_explored: int
+    assertions_seen: int  # distinct Floyd/Hoare assertions (proof size)
+
+    @property
+    def covered(self) -> bool:
+        return self.counterexample is None
+
+
+class UselessStateCache:
+    """Cross-round cache of states that cannot reach a counterexample.
+
+    A state ⟨q, S, c⟩ proven useless under predicate set Φ stays useless
+    under any Φ' ⊇ Φ: assertions only strengthen across rounds, and
+    proof-sensitive commutativity is monotone (§7.2).
+    """
+
+    def __init__(self) -> None:
+        self._useless: dict[tuple, list[frozenset[int]]] = {}
+        self.hits = 0
+
+    def is_useless(self, key: tuple, predicates: FhState) -> bool:
+        for recorded in self._useless.get(key, ()):
+            if recorded <= predicates:
+                self.hits += 1
+                return True
+        return False
+
+    def mark(self, key: tuple, predicates: FhState) -> None:
+        bucket = self._useless.setdefault(key, [])
+        bucket[:] = [rec for rec in bucket if not (predicates <= rec)]
+        if not any(rec <= predicates for rec in bucket):
+            bucket.append(predicates)
+
+
+class ProofChecker:
+    """On-the-fly reduction construction integrated with the proof check."""
+
+    def __init__(
+        self,
+        program: ConcurrentProgram,
+        order: PreferenceOrder,
+        commutativity: CommutativityRelation,
+        *,
+        mode: str = "combined",
+        proof_sensitive: bool = True,
+        search: str = "bfs",
+        useless_cache: UselessStateCache | None = None,
+        max_states: int | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        if search not in ("bfs", "dfs"):
+            raise ValueError(f"unknown search strategy {search!r}")
+        self.deadline = deadline  # absolute time.perf_counter() timestamp
+        self.program = program
+        self.order = order
+        self.commutativity = commutativity
+        self.mode = mode
+        self.search = search
+        self.max_states = max_states
+        self.useless_cache = useless_cache
+        self._conditional: ConditionalCommutativity | None = None
+        if proof_sensitive and isinstance(commutativity, ConditionalCommutativity):
+            self._conditional = commutativity
+        self._persistent: PersistentSetProvider | None = None
+        if mode in ("combined", "persistent"):
+            self._persistent = PersistentSetProvider(
+                program, order, commutativity
+            )
+        self._commute_entries: dict[
+            tuple[int, int], tuple[list[FhState], list[FhState]]
+        ] = {}
+
+    # -- commutativity under the current assertion ---------------------------
+    #
+    # Proof-sensitive commutativity is monotone in the assertion (§7.2):
+    # commuting under Φ implies commuting under any Φ' ⊇ Φ, and failing
+    # under Φ implies failing under any Φ'' ⊆ Φ.  We exploit this with a
+    # subsumption cache keyed by the Floyd/Hoare state's predicate set,
+    # which avoids most solver queries across states and rounds.
+
+    def _commute(
+        self, fh: FloydHoareAutomaton, phi_state: FhState, a: Statement, b: Statement
+    ) -> bool:
+        if self._conditional is None:
+            return self.commutativity.commute(a, b)
+        pair = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
+        entries = self._commute_entries.get(pair)
+        if entries is not None:
+            positives, negatives = entries
+            for known in positives:
+                if known <= phi_state:
+                    return True
+            for known in negatives:
+                if known >= phi_state:
+                    return False
+        result = self._conditional.commute_under(fh.assertion(phi_state), a, b)
+        if entries is None:
+            entries = ([], [])
+            self._commute_entries[pair] = entries
+        entries[0 if result else 1].append(phi_state)
+        return result
+
+    # -- successor generation (the reduction, on the fly) ----------------------
+
+    def _successors(
+        self, fh: FloydHoareAutomaton, state: CheckState
+    ) -> Iterator[tuple[Statement, CheckState]]:
+        q, phi_state, sleep, ctx = state
+        if self.program.is_violation(q):
+            return
+        edges = sorted(
+            self.program.successors(q),
+            key=lambda e: self.order.key(ctx, e[0]),
+        )
+        enabled = [a for a, _ in edges]
+        if self._persistent is not None:
+            allowed = self._persistent.persistent_letters(q, ctx)
+        else:
+            allowed = None
+        use_sleep = self.mode in ("combined", "sleep")
+        for a, q2 in edges:
+            if a in sleep:
+                continue
+            if allowed is not None and a not in allowed:
+                continue
+            if use_sleep:
+                key_a = self.order.key(ctx, a)
+                new_sleep = frozenset(
+                    b
+                    for b in enabled
+                    if (b in sleep or self.order.key(ctx, b) < key_a)
+                    and self._commute(fh, phi_state, a, b)
+                )
+            else:
+                new_sleep = frozenset()
+            yield a, (
+                q2,
+                fh.step(phi_state, a),
+                new_sleep,
+                self.order.advance(ctx, a),
+            )
+
+    # -- uncovered-state detection ------------------------------------------------
+
+    def _uncovered(
+        self, fh: FloydHoareAutomaton, state: CheckState, post: Term
+    ) -> bool:
+        """Does *state* witness that the proof candidate is insufficient?"""
+        q, phi_state, _sleep, _ctx = state
+        if fh.is_bottom(phi_state):
+            return False
+        if self.program.is_violation(q):
+            return True
+        if self.program.is_exit(q):
+            return not fh.entails(phi_state, post)
+        return False
+
+    # -- the check ----------------------------------------------------------------
+
+    def check(self, fh: FloydHoareAutomaton, pre: Term, post: Term) -> CheckOutcome:
+        initial: CheckState = (
+            self.program.initial_state(),
+            fh.initial_state(pre),
+            frozenset(),
+            self.order.initial_context(),
+        )
+        if self.search == "bfs":
+            return self._check_bfs(fh, initial, post)
+        return self._check_dfs(fh, initial, post)
+
+    def _check_bfs(
+        self, fh: FloydHoareAutomaton, initial: CheckState, post: Term
+    ) -> CheckOutcome:
+        seen: set[CheckState] = {initial}
+        assertions: set[FhState] = {initial[1]}
+        parent: dict[CheckState, tuple[CheckState, Statement]] = {}
+        queue: deque[CheckState] = deque([initial])
+        ticks = 0
+        while queue:
+            state = queue.popleft()
+            ticks += 1
+            if ticks % 128 == 0:
+                self._check_deadline()
+            if self._uncovered(fh, state, post):
+                return CheckOutcome(
+                    self._trace_to(parent, state), len(seen), len(assertions)
+                )
+            if fh.is_bottom(state[1]):
+                continue  # covered: the proof refutes everything below
+            for a, nxt in self._successors(fh, state):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if self.max_states is not None and len(seen) > self.max_states:
+                    raise MemoryError("proof check exceeded its state budget")
+                assertions.add(nxt[1])
+                parent[nxt] = (state, a)
+                queue.append(nxt)
+        return CheckOutcome(None, len(seen), len(assertions))
+
+    def _check_dfs(
+        self, fh: FloydHoareAutomaton, initial: CheckState, post: Term
+    ) -> CheckOutcome:
+        """Iterative DFS (Algorithm 2) with sound useless-state marking.
+
+        A state may only be marked useless if its exploration did not
+        get cut off at a *grey* node (a state still on the DFS stack):
+        such a cut is a cycle back into the current path, and the cycle
+        target's subtree is not fully explored yet.  Taint from grey
+        cuts propagates to all ancestors.
+        """
+        seen: set[CheckState] = set()
+        on_stack: set[CheckState] = set()
+        tainted: set[CheckState] = set()
+        assertions: set[FhState] = set()
+        path: list[Statement] = []
+        cache = self.useless_cache
+
+        stack: list[tuple] = [("visit", initial, None, None)]
+        counterexample: tuple[Statement, ...] | None = None
+        ticks = 0
+        while stack:
+            kind, state, letter, parent = stack.pop()
+            ticks += 1
+            if ticks % 128 == 0:
+                self._check_deadline()
+            if kind == "leave":
+                if letter is not None:
+                    path.pop()
+                on_stack.discard(state)
+                q, phi_state, sleep, ctx = state
+                if state in tainted:
+                    if parent is not None:
+                        tainted.add(parent)
+                elif cache is not None:
+                    cache.mark((q, sleep, ctx), phi_state)
+                continue
+            if state in seen:
+                if state in on_stack or state in tainted:
+                    # grey cut (cycle) or known-tainted: parent cannot be
+                    # marked useless based on this child
+                    if parent is not None:
+                        tainted.add(parent)
+                continue
+            q, phi_state, sleep, ctx = state
+            if cache is not None and cache.is_useless((q, sleep, ctx), phi_state):
+                continue
+            seen.add(state)
+            if self.max_states is not None and len(seen) > self.max_states:
+                raise MemoryError("proof check exceeded its state budget")
+            assertions.add(phi_state)
+            if letter is not None:
+                path.append(letter)
+            if self._uncovered(fh, state, post):
+                counterexample = tuple(path)
+                break
+            on_stack.add(state)
+            stack.append(("leave", state, letter, parent))
+            if fh.is_bottom(phi_state):
+                continue
+            for a, nxt in reversed(list(self._successors(fh, state))):
+                stack.append(("visit", nxt, a, state))
+        return CheckOutcome(counterexample, len(seen), len(assertions))
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None:
+            import time
+
+            if time.perf_counter() > self.deadline:
+                raise CheckDeadlineExceeded()
+
+    @staticmethod
+    def _trace_to(
+        parent: dict[CheckState, tuple[CheckState, Statement]],
+        state: CheckState,
+    ) -> tuple[Statement, ...]:
+        trace: list[Statement] = []
+        while state in parent:
+            state, letter = parent[state]
+            trace.append(letter)
+        trace.reverse()
+        return tuple(trace)

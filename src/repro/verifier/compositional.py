@@ -1,0 +1,103 @@
+"""Per-thread assert analysis (§6.1, footnote 4).
+
+With assert statements in several threads, every weakly persistent
+membrane must include all observer threads, which can kill pruning
+entirely.  The paper's implementation therefore "analyses correctness of
+the program with respect to asserts in each thread separately,
+preferring n analyses with (ideally) polynomial proof checking effort
+over a single analysis with exponential proof checks."
+
+:func:`restrict_observer` builds the variant of a program in which only
+one thread keeps its error location — other threads' failing assert
+branches are dropped, turning their asserts into assumes.  This matches
+abort semantics: an execution past another thread's failed assert does
+not exist, and that failure itself is caught by that thread's own
+analysis.  :func:`verify_each_thread` runs all the per-thread analyses
+(plus the postcondition check) and combines the verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.commutativity import CommutativityRelation
+from ..core.preference import PreferenceOrder
+from ..lang.cfg import ThreadCFG
+from ..lang.program import ConcurrentProgram
+from .refinement import VerifierConfig, verify
+from .stats import Verdict, VerificationResult
+
+
+def _drop_error(thread: ThreadCFG) -> ThreadCFG:
+    """Remove the error location and every edge into it."""
+    if thread.error is None:
+        return thread
+    edges = {
+        src: [(stmt, dst) for stmt, dst in out if dst != thread.error]
+        for src, out in thread.edges.items()
+    }
+    edges = {src: out for src, out in edges.items() if out}
+    return ThreadCFG(
+        name=thread.name,
+        index=thread.index,
+        initial=thread.initial,
+        exit=thread.exit,
+        error=None,
+        edges=edges,
+    )
+
+
+def restrict_observer(
+    program: ConcurrentProgram, observer: int
+) -> ConcurrentProgram:
+    """The variant where only thread *observer* keeps its asserts."""
+    if not (0 <= observer < len(program.threads)):
+        raise IndexError(f"no thread {observer}")
+    threads = [
+        t if i == observer else _drop_error(t)
+        for i, t in enumerate(program.threads)
+    ]
+    name = f"{program.name}@{program.threads[observer].name}"
+    return ConcurrentProgram(
+        name=name, threads=threads, pre=program.pre, post=program.post
+    )
+
+
+def observer_threads(program: ConcurrentProgram) -> list[int]:
+    """Indices of threads containing assert statements."""
+    return [i for i, t in enumerate(program.threads) if t.error is not None]
+
+
+def verify_each_thread(
+    program: ConcurrentProgram,
+    order: PreferenceOrder | None = None,
+    commutativity: CommutativityRelation | None = None,
+    config: VerifierConfig | None = None,
+) -> list[VerificationResult]:
+    """One verification per observer thread (footnote 4).
+
+    For programs with at most one observer this degenerates to a single
+    `verify` call.  The returned list contains one result per observer
+    (each restricted program also carries the postcondition obligation,
+    so any member's CORRECT verdict covers the post check).
+    """
+    observers = observer_threads(program)
+    if len(observers) <= 1:
+        return [verify(program, order, commutativity, config=config)]
+    results = []
+    for observer in observers:
+        restricted = restrict_observer(program, observer)
+        results.append(verify(restricted, order, commutativity, config=config))
+    return results
+
+
+def combine_verdicts(results: Sequence[VerificationResult]) -> Verdict:
+    """The program verdict implied by per-thread results."""
+    if any(r.verdict == Verdict.INCORRECT for r in results):
+        return Verdict.INCORRECT
+    if all(r.verdict == Verdict.CORRECT for r in results):
+        return Verdict.CORRECT
+    if any(r.verdict == Verdict.TIMEOUT for r in results):
+        return Verdict.TIMEOUT
+    return Verdict.UNKNOWN

@@ -1,0 +1,160 @@
+"""Floyd/Hoare automata via predicate abstraction (§7.2, after [19]).
+
+The automaton's states are the *assertions* of the candidate proof.  We
+use the canonical deterministic construction over a finite predicate
+vocabulary P: a state is the set of predicates known to hold (read as
+their conjunction), and
+
+    δ_A(Φ, a) = { p ∈ P | the Hoare triple {⋀Φ} a {p} is valid }
+
+— every transition is a bundle of solver-checked Hoare triples, so any
+run of the automaton is a valid Floyd/Hoare annotation of the word it
+reads.  A state whose conjunction is unsatisfiable is the ⊥ state: every
+trace reaching it is proven infeasible (covered by the proof).
+
+All triple checks are memoized; the number of distinct reachable states
+during a proof check is the paper's *proof size* metric.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lang.statements import Statement
+from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
+
+FhState = frozenset[int]
+
+BOTTOM: FhState = frozenset({-1})  # sentinel: unsatisfiable conjunction
+
+
+class FloydHoareAutomaton:
+    """Deterministic predicate-abstraction automaton over a predicate set."""
+
+    def __init__(self, predicates: Sequence[Term], solver: Solver) -> None:
+        self._solver = solver
+        self._predicates: list[Term] = []
+        self._pred_index: dict[Term, int] = {}
+        self._triple_cache: dict[tuple[Term, int, int], bool] = {}
+        self._wp_cache: dict[tuple[int, int], Term] = {}
+        self._assertion_cache: dict[FhState, Term] = {}
+        self._step_cache: dict[tuple[FhState, int], FhState] = {}
+        for p in predicates:
+            self.add_predicate(p)
+
+    # -- predicate vocabulary -----------------------------------------------
+
+    @property
+    def predicates(self) -> tuple[Term, ...]:
+        return tuple(self._predicates)
+
+    def add_predicate(self, predicate: Term) -> bool:
+        """Add to the vocabulary; returns False if already present."""
+        if predicate in self._pred_index or predicate in (TRUE, FALSE):
+            return False
+        self._pred_index[predicate] = len(self._predicates)
+        self._predicates.append(predicate)
+        # transitions depend on the vocabulary: invalidate
+        self._step_cache.clear()
+        return True
+
+    # -- states ------------------------------------------------------------------
+
+    def initial_state(self, pre: Term) -> FhState:
+        """Predicates implied by the precondition."""
+        if not self._solver.is_sat(pre):
+            return BOTTOM
+        holding = frozenset(
+            i
+            for i, p in enumerate(self._predicates)
+            if self._implies_safe(pre, p)
+        )
+        return holding
+
+    def assertion(self, state: FhState) -> Term:
+        """The conjunction this state stands for."""
+        if state == BOTTOM:
+            return FALSE
+        cached = self._assertion_cache.get(state)
+        if cached is None:
+            cached = and_(*(self._predicates[i] for i in sorted(state)))
+            self._assertion_cache[state] = cached
+        return cached
+
+    def is_bottom(self, state: FhState) -> bool:
+        return state == BOTTOM
+
+    # -- transitions ----------------------------------------------------------------
+
+    def step(self, state: FhState, letter: Statement) -> FhState:
+        if state == BOTTOM:
+            return BOTTOM
+        key = (state, letter.uid)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        phi = self.assertion(state)
+        written = letter.written_vars()
+        holding_set: set[int] = set()
+        for i in range(len(self._predicates)):
+            # fast path: a predicate that already holds and whose
+            # variables the letter does not write is preserved —
+            # {φ} a {p} follows from φ ⇒ p ⇒ (guard → p) = wp(p, a)
+            if i in state and not (written & self._pred_vars(i)):
+                holding_set.add(i)
+            elif self._triple(phi, letter, i):
+                holding_set.add(i)
+        holding = frozenset(holding_set)
+        # detect the bottom state: phi excludes the letter's guard, or
+        # the resulting conjunction is unsatisfiable
+        result = holding
+        if not self._sat_safe(and_(phi, letter.guard)):
+            result = BOTTOM
+        elif holding and not self._sat_safe(self.assertion(holding)):
+            result = BOTTOM
+        self._step_cache[key] = result
+        return result
+
+    def _triple(self, phi: Term, letter: Statement, pred_index: int) -> bool:
+        """Is the Hoare triple {phi} letter {predicate} valid?
+
+        The context *phi* is projected to its goal-relevant conjuncts
+        (exact for satisfiable assertions; see repro.logic.relevance),
+        which keeps the solver queries small and cache-friendly.
+        """
+        wp = self._wp_cache.get((letter.uid, pred_index))
+        if wp is None:
+            wp = letter.wp(self._predicates[pred_index])
+            self._wp_cache[(letter.uid, pred_index)] = wp
+        from ..logic import free_vars
+        from ..logic.relevance import relevant_context
+
+        context = relevant_context(phi, free_vars(wp))
+        key = (context, letter.uid, pred_index)
+        cached = self._triple_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._implies_safe(context, wp)
+        self._triple_cache[key] = result
+        return result
+
+    def _pred_vars(self, index: int) -> frozenset[str]:
+        from ..logic import free_vars
+
+        return free_vars(self._predicates[index])
+
+    def entails(self, state: FhState, formula: Term) -> bool:
+        """Does this state's assertion entail *formula*? (conservative)"""
+        return self._implies_safe(self.assertion(state), formula)
+
+    def _implies_safe(self, lhs: Term, rhs: Term) -> bool:
+        try:
+            return self._solver.implies(lhs, rhs)
+        except SolverUnknown:
+            return False  # sound: claim fewer facts
+
+    def _sat_safe(self, formula: Term) -> bool:
+        try:
+            return self._solver.is_sat(formula)
+        except SolverUnknown:
+            return True  # sound: do not claim infeasibility

@@ -1,0 +1,134 @@
+"""Trace feasibility and interpolant (annotation) generation.
+
+This module stands in for the interpolating SMT solver of the paper's
+implementation (see DESIGN.md §3):
+
+* :func:`trace_feasible` decides whether a counterexample trace is a
+  real execution, by satisfiability of its SSA path formula;
+* :func:`annotate_trace` produces a Floyd/Hoare annotation of an
+  *infeasible* trace via backward weakest preconditions — one of the
+  standard "interpolation" strategies of trace abstraction tools
+  ("backward predicates" in Ultimate).  For havoc-free traces the
+  annotation is exact and quantifier-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..lang.program import ConcurrentProgram
+from ..lang.statements import Statement
+from ..logic import (
+    FALSE,
+    Solver,
+    TRUE,
+    Term,
+    and_,
+    free_vars,
+    not_,
+    substitute,
+    var,
+)
+
+
+def path_formula(
+    pre: Term, trace: Sequence[Statement]
+) -> tuple[Term, dict[str, Term]]:
+    """The SSA path formula of *trace* started in *pre*.
+
+    Returns ``(formula, renaming)`` where *renaming* maps each program
+    variable to the term holding its final value (a fresh SSA variable
+    for integers, a store-chain for arrays).  The formula's models are
+    exactly the executions of the trace.
+    """
+    from ..logic.arrays import array_names
+    from ..logic import avar
+
+    names: set[str] = set(free_vars(pre))
+    arrays: set[str] = set(array_names(pre))
+    for s in trace:
+        names |= s.accessed_vars()
+        arrays |= array_names(s.guard)
+        for rhs in s.updates.values():
+            arrays |= array_names(rhs)
+    renaming: dict[str, Term] = {
+        name: (avar(name) if name in arrays else var(name))
+        for name in sorted(names)
+    }
+    parts: list[Term] = [pre]
+    for index, statement in enumerate(trace, start=1):
+        constraint, renaming = statement.ssa_step(renaming, index)
+        parts.append(constraint)
+    return and_(*parts), renaming
+
+
+def trace_feasible(
+    solver: Solver,
+    pre: Term,
+    trace: Sequence[Statement],
+    post: Term = TRUE,
+) -> bool:
+    """Can *trace* execute from *pre* and end violating *post*?
+
+    With the default ``post=TRUE`` (used for traces that already end in
+    an assertion violation) this checks plain executability; otherwise
+    it checks for an execution ending in ``not post``.
+    """
+    formula, renaming = path_formula(pre, trace)
+    if post != TRUE:
+        final_post = substitute(post, renaming)
+        formula = and_(formula, not_(final_post))
+    return solver.is_sat(formula)
+
+
+def annotate_trace(
+    trace: Sequence[Statement], post: Term
+) -> list[Term]:
+    """Backward wp annotation I₀ ... Iₙ with Iₙ = post.
+
+    Every triple {Iₖ₋₁} aₖ {Iₖ} is valid by construction.  The trace is
+    refuted by a precondition *pre* iff pre ⇒ I₀ (for havoc-free traces;
+    with havoc the Iₖ may be stronger than the exact wp — still a valid
+    annotation whenever pre ⇒ I₀ holds, which the refinement loop
+    verifies before accepting the predicates).
+    """
+    annotation = [post]
+    current = post
+    for statement in reversed(list(trace)):
+        current = statement.wp(current)
+        annotation.append(current)
+    annotation.reverse()
+    return annotation
+
+
+def extract_predicates(annotation: Sequence[Term]) -> list[Term]:
+    """Predicate vocabulary from an annotation.
+
+    Keeps each intermediate assertion and additionally splits top-level
+    conjunctions — finer granularity lets the Floyd/Hoare automaton
+    recombine facts at other control locations.
+    """
+    from ..logic.terms import And
+
+    out: list[Term] = []
+    seen: set[Term] = set()
+
+    def push(p: Term) -> None:
+        if p in (TRUE, FALSE) or p in seen:
+            return
+        seen.add(p)
+        out.append(p)
+
+    for assertion in annotation:
+        push(assertion)
+        if isinstance(assertion, And):
+            for conjunct in assertion.args:
+                push(conjunct)
+    return out
+
+
+def refutes(
+    solver: Solver, pre: Term, annotation: Sequence[Term]
+) -> bool:
+    """Does the annotation refute its trace, i.e. pre ⇒ I₀?"""
+    return solver.implies(pre, annotation[0])

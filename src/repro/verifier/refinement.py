@@ -1,0 +1,199 @@
+"""Trace abstraction refinement (the CEGAR loop of §1 / §7.2).
+
+Each round runs the proof check (Algorithm 2).  An uncovered trace that
+is *feasible* is a genuine counterexample (verdict INCORRECT); an
+infeasible one is annotated with backward-wp interpolants whose
+predicates augment the proof vocabulary.  The loop ends when the check
+succeeds (CORRECT), a real bug is found (INCORRECT), refinement cannot
+make progress or the solver gives up (UNKNOWN), or a resource budget is
+exhausted (TIMEOUT).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+from ..core.commutativity import CommutativityRelation, ConditionalCommutativity
+from ..core.preference import PreferenceOrder, ThreadUniformOrder
+from ..lang.program import ConcurrentProgram
+from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
+from .checkproof import CheckDeadlineExceeded, ProofChecker, UselessStateCache
+from .hoare import FloydHoareAutomaton
+from .interpolate import annotate_trace, extract_predicates, refutes, trace_feasible
+from .stats import RoundStats, Verdict, VerificationResult
+
+
+@dataclass
+class VerifierConfig:
+    """Tunables of one verifier instantiation."""
+
+    mode: str = "combined"  # combined | sleep | persistent | none
+    proof_sensitive: bool = True
+    search: str = "bfs"  # bfs | dfs
+    use_useless_cache: bool = False  # dfs only
+    max_rounds: int = 60
+    max_states_per_round: int | None = 400_000
+    time_budget: float | None = None  # seconds
+    track_memory: bool = False
+    simplify_proof: bool = False  # semantically clean the reported predicates
+
+
+def verify(
+    program: ConcurrentProgram,
+    order: PreferenceOrder | None = None,
+    commutativity: CommutativityRelation | None = None,
+    config: VerifierConfig | None = None,
+    solver: Solver | None = None,
+) -> VerificationResult:
+    """Verify *program* against its pre/post spec and assert statements.
+
+    Returns a :class:`VerificationResult`; see :class:`VerifierConfig`
+    for the reduction mode and search options.  The default
+    configuration is the paper's GemCutter: combined sleep + persistent
+    reduction, proof-sensitive conditional commutativity, sequential
+    ("seq") preference order.
+    """
+    config = config or VerifierConfig()
+    order = order or ThreadUniformOrder()
+    solver = solver or Solver()
+    if commutativity is None:
+        commutativity = ConditionalCommutativity(solver)
+
+    started = time.perf_counter()
+    if config.time_budget is not None:
+        # long individual solver queries must also respect the budget
+        solver.deadline = started + config.time_budget
+    tracking = config.track_memory
+    if tracking:
+        tracemalloc.start()
+
+    def elapsed() -> float:
+        return time.perf_counter() - started
+
+    def finish(result: VerificationResult) -> VerificationResult:
+        result.time_seconds = elapsed()
+        if tracking:
+            _, peak = tracemalloc.get_traced_memory()
+            result.peak_memory_bytes = peak
+            tracemalloc.stop()
+        return result
+
+    fh = FloydHoareAutomaton([], solver)
+    cache = UselessStateCache() if (
+        config.use_useless_cache and config.search == "dfs"
+    ) else None
+    checker = ProofChecker(
+        program,
+        order,
+        commutativity,
+        mode=config.mode,
+        proof_sensitive=config.proof_sensitive,
+        search=config.search,
+        useless_cache=cache,
+        max_states=config.max_states_per_round,
+        deadline=(
+            started + config.time_budget
+            if config.time_budget is not None
+            else None
+        ),
+    )
+
+    result = VerificationResult(
+        program_name=program.name,
+        verdict=Verdict.UNKNOWN,
+        order_name=order.name,
+        mode=config.mode,
+    )
+
+    for round_index in range(config.max_rounds):
+        if config.time_budget is not None and elapsed() > config.time_budget:
+            result.verdict = Verdict.TIMEOUT
+            return finish(result)
+        round_started = time.perf_counter()
+        try:
+            outcome = checker.check(fh, program.pre, program.post)
+        except CheckDeadlineExceeded:
+            result.verdict = Verdict.TIMEOUT
+            return finish(result)
+        except (MemoryError, SolverUnknown):
+            result.verdict = Verdict.UNKNOWN
+            return finish(result)
+        result.rounds += 1
+        result.states_explored += outcome.states_explored
+        result.round_stats.append(
+            RoundStats(
+                states_explored=outcome.states_explored,
+                time_seconds=time.perf_counter() - round_started,
+                counterexample_length=(
+                    len(outcome.counterexample)
+                    if outcome.counterexample is not None
+                    else None
+                ),
+            )
+        )
+        if outcome.covered:
+            result.verdict = Verdict.CORRECT
+            result.proof_size = outcome.assertions_seen
+            result.num_predicates = len(fh.predicates)
+            result.predicates = fh.predicates
+            if config.simplify_proof:
+                from ..logic.simplify import simplify_all
+
+                result.predicates = tuple(
+                    simplify_all(fh.predicates, solver)
+                )
+            return finish(result)
+
+        trace = outcome.counterexample
+        is_violation = program.is_violation(_final_state(program, trace))
+        obligation = FALSE if is_violation else program.post
+        try:
+            feasible = trace_feasible(
+                solver, program.pre, trace,
+                post=TRUE if is_violation else program.post,
+            )
+        except SolverUnknown:
+            result.verdict = Verdict.UNKNOWN
+            result.counterexample = trace
+            return finish(result)
+        if feasible:
+            result.verdict = Verdict.INCORRECT
+            result.counterexample = trace
+            result.num_predicates = len(fh.predicates)
+            return finish(result)
+
+        annotation = annotate_trace(trace, obligation)
+        try:
+            if not refutes(solver, program.pre, annotation):
+                # wp annotation failed to refute (havoc projection too
+                # coarse): no sound progress possible
+                result.verdict = Verdict.UNKNOWN
+                result.counterexample = trace
+                return finish(result)
+        except SolverUnknown:
+            result.verdict = Verdict.UNKNOWN
+            return finish(result)
+        progress = False
+        for predicate in extract_predicates(annotation):
+            progress |= fh.add_predicate(predicate)
+        if not progress:
+            # the vocabulary already contains all predicates, yet the
+            # proof check still reported this trace: abstraction too weak
+            result.verdict = Verdict.UNKNOWN
+            result.counterexample = trace
+            return finish(result)
+
+    result.verdict = Verdict.TIMEOUT
+    return finish(result)
+
+
+def _final_state(program: ConcurrentProgram, trace) -> tuple:
+    state = program.initial_state()
+    for statement in trace:
+        nxt = program.step(state, statement)
+        if nxt is None:  # pragma: no cover - checker produces valid traces
+            raise AssertionError("counterexample trace leaves the product")
+        state = nxt
+    return state

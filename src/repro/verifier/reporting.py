@@ -1,0 +1,113 @@
+"""Result reporting: CSV/JSON export and proof pretty-printing."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..lang.program import ConcurrentProgram
+from ..lang.statements import Statement
+from ..logic import Term
+from .stats import VerificationResult
+
+_CSV_FIELDS = (
+    "program",
+    "verdict",
+    "order",
+    "mode",
+    "rounds",
+    "proof_size",
+    "num_predicates",
+    "states_explored",
+    "time_seconds",
+    "peak_memory_bytes",
+)
+
+
+def results_to_csv(results: Iterable[VerificationResult]) -> str:
+    """Render results as CSV text (one row per run)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS)
+    writer.writeheader()
+    for r in results:
+        writer.writerow(
+            {
+                "program": r.program_name,
+                "verdict": r.verdict.value,
+                "order": r.order_name,
+                "mode": r.mode,
+                "rounds": r.rounds,
+                "proof_size": r.proof_size,
+                "num_predicates": r.num_predicates,
+                "states_explored": r.states_explored,
+                "time_seconds": f"{r.time_seconds:.4f}",
+                "peak_memory_bytes": r.peak_memory_bytes,
+            }
+        )
+    return buffer.getvalue()
+
+
+def write_csv(results: Iterable[VerificationResult], path: str | Path) -> None:
+    Path(path).write_text(results_to_csv(results))
+
+
+def results_to_json(results: Iterable[VerificationResult]) -> str:
+    payload = []
+    for r in results:
+        payload.append(
+            {
+                "program": r.program_name,
+                "verdict": r.verdict.value,
+                "order": r.order_name,
+                "mode": r.mode,
+                "rounds": r.rounds,
+                "proof_size": r.proof_size,
+                "num_predicates": r.num_predicates,
+                "states_explored": r.states_explored,
+                "time_seconds": r.time_seconds,
+                "peak_memory_bytes": r.peak_memory_bytes,
+                "counterexample": (
+                    [s.label for s in r.counterexample]
+                    if r.counterexample is not None
+                    else None
+                ),
+                "predicates": [repr(p) for p in r.predicates],
+            }
+        )
+    return json.dumps(payload, indent=2)
+
+
+def render_counterexample(
+    program: ConcurrentProgram, trace: Sequence[Statement]
+) -> str:
+    """A human-readable schedule for a counterexample trace.
+
+    One line per step: the acting thread, the statement, and the
+    per-thread control locations after the step.
+    """
+    lines = ["step  thread        statement"]
+    state = program.initial_state()
+    for i, statement in enumerate(trace, start=1):
+        state = program.step(state, statement)
+        thread = program.threads[statement.thread]
+        locs = ",".join(str(l) for l in state)
+        lines.append(
+            f"{i:>4d}  {thread.name:12s}  {statement.label:30s}  @({locs})"
+        )
+    return "\n".join(lines)
+
+
+def render_annotation(
+    trace: Sequence[Statement], annotation: Sequence[Term]
+) -> str:
+    """A Floyd/Hoare-style rendering {I0} a1 {I1} a2 ... {In}."""
+    if len(annotation) != len(trace) + 1:
+        raise ValueError("annotation must have one assertion per location")
+    lines = [f"{{ {annotation[0]!r} }}"]
+    for statement, assertion in zip(trace, annotation[1:]):
+        lines.append(f"    {statement.label}")
+        lines.append(f"{{ {assertion!r} }}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Result and statistics records for verification runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..lang.statements import Statement
+
+
+class Verdict(enum.Enum):
+    """Outcome of a verification run."""
+
+    CORRECT = "correct"
+    INCORRECT = "incorrect"
+    UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
+
+    @property
+    def solved(self) -> bool:
+        return self in (Verdict.CORRECT, Verdict.INCORRECT)
+
+
+@dataclass
+class RoundStats:
+    """Per-refinement-round measurements."""
+
+    states_explored: int = 0
+    time_seconds: float = 0.0
+    counterexample_length: int | None = None
+
+
+@dataclass
+class VerificationResult:
+    """The verdict plus everything the evaluation harness reports.
+
+    ``proof_size`` counts the distinct Floyd/Hoare assertions (automaton
+    states) reached during the final, successful proof check — the
+    paper's proof-size metric.  ``num_predicates`` is the size of the
+    underlying predicate vocabulary.
+    """
+
+    program_name: str
+    verdict: Verdict
+    rounds: int = 0
+    proof_size: int = 0
+    num_predicates: int = 0
+    states_explored: int = 0
+    time_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    counterexample: tuple[Statement, ...] | None = None
+    predicates: tuple = ()
+    round_stats: list[RoundStats] = field(default_factory=list)
+    order_name: str = ""
+    mode: str = "combined"
+
+    @property
+    def time_per_round(self) -> float:
+        return self.time_seconds / self.rounds if self.rounds else 0.0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.program_name}: {self.verdict.value}",
+            f"order={self.order_name}",
+            f"rounds={self.rounds}",
+            f"proof={self.proof_size}",
+            f"states={self.states_explored}",
+            f"time={self.time_seconds:.2f}s",
+        ]
+        return "  ".join(parts)

@@ -1,0 +1,114 @@
+"""Shared test helpers: tiny program builders and reduction oracles."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata import materialize
+from repro.core import (
+    CommutativityRelation,
+    minimal_word,
+    partition_into_classes,
+)
+from repro.core.preference import PreferenceOrder
+from repro.core.reduction import ReducedProduct
+from repro.lang import ConcurrentProgram, Statement
+from repro.lang.cfg import ThreadCFG
+from repro.logic import TRUE
+
+
+def straight_line_thread(
+    index: int, statements: Sequence[Statement], name: str | None = None
+) -> ThreadCFG:
+    """A thread executing *statements* in order."""
+    edges: dict[int, list[tuple[Statement, int]]] = {}
+    for loc, stmt in enumerate(statements):
+        edges.setdefault(loc, []).append((stmt, loc + 1))
+    return ThreadCFG(
+        name=name or f"T{index}",
+        index=index,
+        initial=0,
+        exit=len(statements),
+        error=None,
+        edges=edges,
+    )
+
+
+def looping_thread(
+    index: int,
+    loop_body: Sequence[Statement],
+    after: Sequence[Statement],
+    enter: Statement,
+    leave: Statement,
+    name: str | None = None,
+) -> ThreadCFG:
+    """``while (*) { body } after`` with explicit branch letters."""
+    edges: dict[int, list[tuple[Statement, int]]] = {}
+    head = 0
+    edges[head] = [(enter, 1), (leave, 1 + len(loop_body))]
+    for i, stmt in enumerate(loop_body):
+        src = 1 + i
+        dst = head if i == len(loop_body) - 1 else src + 1
+        edges.setdefault(src, []).append((stmt, dst))
+    base = 1 + len(loop_body)
+    for i, stmt in enumerate(after):
+        edges.setdefault(base + i, []).append((stmt, base + i + 1))
+    return ThreadCFG(
+        name=name or f"T{index}",
+        index=index,
+        initial=0,
+        exit=base + len(after),
+        error=None,
+        edges=edges,
+    )
+
+
+def make_program(threads: Sequence[ThreadCFG], name: str = "test") -> ConcurrentProgram:
+    return ConcurrentProgram(name=name, threads=list(threads), pre=TRUE, post=TRUE)
+
+
+def reduction_language(
+    program: ConcurrentProgram,
+    order: PreferenceOrder,
+    commutativity: CommutativityRelation,
+    *,
+    mode: str = "combined",
+    max_length: int,
+) -> frozenset[tuple[Statement, ...]]:
+    reduced = ReducedProduct(
+        program, order, commutativity, mode=mode, accepting="exit"
+    )
+    dfa = materialize(reduced, program.alphabet(), max_states=100_000)
+    return dfa.language_up_to(max_length)
+
+
+def check_reduction_oracle(
+    program: ConcurrentProgram,
+    order: PreferenceOrder,
+    commutativity: CommutativityRelation,
+    *,
+    mode: str = "combined",
+    max_length: int,
+    expect_minimal: bool = True,
+) -> None:
+    """Assert soundness (and optionally minimality + canonicity) of a
+    reduction against explicit class enumeration.
+
+    Equivalence preserves word length, so restricting both languages to
+    words of length <= max_length is exact.
+    """
+    full = program.product_dfa("exit").language_up_to(max_length)
+    reduced = reduction_language(
+        program, order, commutativity, mode=mode, max_length=max_length
+    )
+    assert reduced <= full, "reduction must be a subset of the language"
+    classes = partition_into_classes(full, commutativity)
+    for cls in classes:
+        reps = cls & reduced
+        assert reps, f"class lost by reduction: {sorted(cls)[:1]}"
+        if expect_minimal:
+            assert len(reps) == 1, f"class has {len(reps)} representatives"
+            (rep,) = reps
+            assert rep == minimal_word(order, cls), (
+                "representative is not the lex(<)-minimal class member"
+            )

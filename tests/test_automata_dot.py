@@ -1,0 +1,42 @@
+"""DOT export tests."""
+
+from repro.automata import DFA
+from repro.automata.dot import to_dot
+
+
+def sample() -> DFA:
+    return DFA.build(
+        {"a", "b"},
+        {(0, "a"): 1, (1, "b"): 0},
+        0,
+        {1},
+    )
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(sample(), name="demo")
+        assert dot.startswith('digraph "demo"')
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # final state
+        assert "init ->" in dot
+        assert dot.count("->") == 3  # init edge + 2 transitions
+
+    def test_custom_labels(self):
+        dot = to_dot(
+            sample(),
+            state_label=lambda q: f"q{q}",
+            letter_label=lambda a: a.upper(),
+        )
+        assert 'label="q0"' in dot
+        assert 'label="A"' in dot
+
+    def test_quotes_escaped(self):
+        dfa = DFA.build({'x"y'}, {(0, 'x"y'): 1}, 0, {1})
+        dot = to_dot(dfa)
+        assert '"x"y"' not in dot
+
+    def test_unreachable_states_omitted(self):
+        dfa = DFA.build({"a"}, {(0, "a"): 1, (7, "a"): 8}, 0, {1})
+        dot = to_dot(dfa)
+        assert "7" not in dot.replace("n7", "")

@@ -1,0 +1,124 @@
+"""NFA tests: determinization, algebra, Brzozowski cross-check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import DFA
+from repro.automata.nfa import EPSILON, NFA, brzozowski_minimize
+
+
+def word_nfa(word: str) -> NFA:
+    """An NFA accepting exactly one word."""
+    transitions = {}
+    for i, letter in enumerate(word):
+        transitions[(i, letter)] = {i + 1}
+    return NFA.build({"a", "b"}, transitions, {0}, {len(word)})
+
+
+class TestAcceptance:
+    def test_single_word(self):
+        nfa = word_nfa("ab")
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("ba")
+
+    def test_epsilon_closure(self):
+        nfa = NFA.build(
+            {"a"},
+            {(0, EPSILON): {1}, (1, "a"): {2}},
+            {0},
+            {2},
+        )
+        assert nfa.accepts("a")
+        assert nfa.epsilon_closure({0}) == {0, 1}
+
+    def test_nondeterministic_choice(self):
+        nfa = NFA.build(
+            {"a", "b"},
+            {(0, "a"): {1, 2}, (1, "a"): {3}, (2, "b"): {3}},
+            {0},
+            {3},
+        )
+        assert nfa.accepts("aa")
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("bb")
+
+
+class TestDeterminize:
+    def test_preserves_language(self):
+        nfa = word_nfa("ab").union(word_nfa("ba"))
+        dfa = nfa.determinize()
+        for word in ("ab", "ba"):
+            assert dfa.accepts(tuple(word))
+        for word in ("aa", "bb", "a", ""):
+            assert not dfa.accepts(tuple(word))
+
+    def test_union(self):
+        u = word_nfa("a").union(word_nfa("bb"))
+        assert u.accepts("a")
+        assert u.accepts("bb")
+        assert not u.accepts("b")
+
+    def test_concat(self):
+        c = word_nfa("a").concat(word_nfa("b"))
+        assert c.accepts("ab")
+        assert not c.accepts("a")
+        assert not c.accepts("ba")
+
+    def test_star(self):
+        s = word_nfa("ab").star()
+        assert s.accepts("")
+        assert s.accepts("ab")
+        assert s.accepts("abab")
+        assert not s.accepts("aba")
+
+    def test_of_dfa_roundtrip(self):
+        dfa = DFA.build(
+            {"a", "b"},
+            {(0, "a"): 0, (0, "b"): 1, (1, "a"): 0, (1, "b"): 1},
+            0,
+            {1},
+        )
+        again = NFA.of_dfa(dfa).determinize()
+        assert again.equivalent_to(dfa)
+
+
+class TestBrzozowski:
+    def test_agrees_with_hopcroft(self):
+        dfa = DFA.build(
+            {"a"},
+            {(0, "a"): 1, (1, "a"): 2, (2, "a"): 1},
+            0,
+            {1, 2},
+        )
+        hop = dfa.minimize()
+        brz = brzozowski_minimize(dfa)
+        assert brz.equivalent_to(dfa)
+        assert brz.num_states() == hop.num_states()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.text(alphabet="ab", max_size=3), max_size=4))
+def test_union_of_words_language(words):
+    nfas = [word_nfa(w) for w in sorted(words)]
+    if not nfas:
+        return
+    union = nfas[0]
+    for nfa in nfas[1:]:
+        union = union.union(nfa)
+    dfa = union.determinize()
+    accepted = {
+        "".join(w) for w in dfa.language_up_to(3)
+    }
+    assert accepted == set(words)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.text(alphabet="ab", min_size=1, max_size=2), min_size=1, max_size=3))
+def test_brzozowski_equals_hopcroft_on_random_languages(words):
+    nfas = [word_nfa(w) for w in sorted(words)]
+    union = nfas[0]
+    for nfa in nfas[1:]:
+        union = union.union(nfa)
+    dfa = union.determinize()
+    assert brzozowski_minimize(dfa).num_states() == dfa.minimize().num_states()

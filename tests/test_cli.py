@@ -1,0 +1,99 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+CORRECT = """
+var x: int = 0;
+thread A { x := x + 1; }
+thread B { x := x + 1; }
+post: x == 2;
+"""
+
+BUGGY = """
+var x: int = 0;
+thread A { assert x == 1; }
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.cprog"
+    path.write_text(CORRECT)
+    return str(path)
+
+
+@pytest.fixture()
+def buggy_file(tmp_path):
+    path = tmp_path / "bug.cprog"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+class TestVerify:
+    def test_correct_program_exit_zero(self, program_file, capsys):
+        assert main(["verify", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "correct" in out
+
+    def test_incorrect_program_prints_cex(self, buggy_file, capsys):
+        assert main(["verify", buggy_file]) == 0  # solved (incorrect)
+        out = capsys.readouterr().out
+        assert "incorrect" in out
+        assert "assert-fail" in out
+
+    def test_show_proof(self, program_file, capsys):
+        main(["verify", program_file, "--show-proof"])
+        assert "proof predicates" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("order", ["seq", "lockstep", "rand:3"])
+    def test_orders(self, program_file, order, capsys):
+        assert main(["verify", program_file, "--order", order]) == 0
+
+    def test_unknown_order_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["verify", program_file, "--order", "sideways"])
+
+    @pytest.mark.parametrize("mode", ["combined", "sleep", "persistent", "none"])
+    def test_modes(self, program_file, mode):
+        assert main(["verify", program_file, "--mode", mode]) == 0
+
+    def test_timeout_gives_nonzero(self, program_file):
+        assert main(["verify", program_file, "--timeout", "0"]) == 1
+
+
+class TestOtherCommands:
+    def test_check(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 threads" in out
+
+    def test_check_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cprog"
+        bad.write_text("thread { oops")
+        assert main(["check", str(bad)]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_reduce(self, program_file, capsys):
+        assert main(["reduce", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "full product states" in out
+
+    def test_reduce_dot(self, program_file, tmp_path, capsys):
+        dot = tmp_path / "out.dot"
+        assert main(["reduce", program_file, "--dot", str(dot)]) == 0
+        text = dot.read_text()
+        assert text.startswith("digraph")
+        assert "->" in text
+
+    def test_portfolio(self, program_file, capsys):
+        assert main(["portfolio", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio[" in out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench-list"]) == 0
+        out = capsys.readouterr().out
+        assert "mutex-atomic(2)" in out
+        assert "weaver" in out

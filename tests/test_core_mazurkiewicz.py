@@ -1,0 +1,191 @@
+"""Mazurkiewicz trace theory oracle tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FullCommutativity,
+    SyntacticCommutativity,
+    ThreadUniformOrder,
+    enumerate_class,
+    equivalent,
+    foata_normal_form,
+    minimal_word,
+    partition_into_classes,
+    prefers,
+)
+from repro.core.preference import LockstepOrder, RandomOrder
+from repro.lang import assign, assume
+from repro.logic import gt, intc, var
+
+# A small fixed alphabet: a*, b* of independent threads; c conflicts with a.
+A1 = assign(0, "x", intc(1))
+A2 = assign(0, "x", intc(2))
+B1 = assign(1, "y", intc(1))
+B2 = assign(1, "y", intc(2))
+C1 = assume(2, gt(var("x"), intc(0)))
+
+REL = SyntacticCommutativity()
+
+
+class TestEquivalence:
+    def test_swap_independent(self):
+        assert equivalent((A1, B1), (B1, A1), REL)
+
+    def test_dependent_not_equivalent(self):
+        assert not equivalent((A1, C1), (C1, A1), REL)
+
+    def test_different_lengths(self):
+        assert not equivalent((A1,), (A1, B1), REL)
+
+    def test_different_multisets(self):
+        assert not equivalent((A1, B1), (A1, B2), REL)
+
+    def test_transitive_chain(self):
+        # a1 b1 b2 ~ b1 b2 a1 by two swaps
+        assert equivalent((A1, B1, B2), (B1, B2, A1), REL)
+
+    def test_same_thread_order_fixed(self):
+        assert not equivalent((A1, A2, B1), (A2, A1, B1), REL)
+
+    def test_projection_agrees_with_swap_closure(self):
+        letters = [A1, A2, B1, C1]
+        words = list(itertools.permutations(letters, 3))
+        for w1 in words:
+            cls = enumerate_class(w1, REL)
+            for w2 in words:
+                assert equivalent(w1, w2, REL) == (tuple(w2) in cls)
+
+
+class TestEnumerateClass:
+    def test_class_of_independent_pair(self):
+        assert enumerate_class((A1, B1), REL) == {(A1, B1), (B1, A1)}
+
+    def test_class_size_three_independent(self):
+        cls = enumerate_class((A1, B1, C1), FullCommutativity())
+        assert len(cls) == 6
+
+    def test_class_is_partition(self):
+        words = list(itertools.permutations([A1, B1, C1]))
+        classes = partition_into_classes(words, REL)
+        total = sum(len(c) for c in classes)
+        assert total == len(words)
+        # classes are disjoint
+        for c1, c2 in itertools.combinations(classes, 2):
+            assert not (c1 & c2)
+
+
+class TestFoata:
+    def test_equivalent_words_same_form(self):
+        f1 = foata_normal_form((A1, B1, C1), REL)
+        f2 = foata_normal_form((B1, A1, C1), REL)
+        assert f1 == f2
+
+    def test_inequivalent_words_differ(self):
+        f1 = foata_normal_form((A1, C1), REL)
+        f2 = foata_normal_form((C1, A1), REL)
+        assert f1 != f2
+
+    def test_step_structure(self):
+        # a1 and b1 independent -> same step; c1 depends on a1 -> later
+        form = foata_normal_form((A1, B1, C1), REL)
+        assert form[0] == {A1, B1}
+        assert form[1] == {C1}
+
+
+class TestPreferenceComparison:
+    def test_seq_prefers_thread_zero(self):
+        order = ThreadUniformOrder()
+        assert prefers(order, (A1, B1), (B1, A1))
+        assert not prefers(order, (B1, A1), (A1, B1))
+
+    def test_prefix_preferred(self):
+        order = ThreadUniformOrder()
+        assert prefers(order, (A1,), (A1, B1))
+
+    def test_lockstep_rotation(self):
+        order = LockstepOrder(2)
+        # after thread 0 moves, thread 1 is preferred
+        assert prefers(order, (A1, B1, A2, B2), (A1, A2, B1, B2))
+
+    def test_minimal_word_over_class(self):
+        order = ThreadUniformOrder()
+        cls = enumerate_class((B1, A1), REL)
+        assert minimal_word(order, cls) == (A1, B1)
+
+    def test_minimal_word_empty_raises(self):
+        with pytest.raises(ValueError):
+            minimal_word(ThreadUniformOrder(), [])
+
+    def test_random_order_deterministic(self):
+        alphabet = [A1, A2, B1, B2, C1]
+        o1 = RandomOrder(alphabet, seed=7)
+        o2 = RandomOrder(alphabet, seed=7)
+        for s in alphabet:
+            assert o1.key(None, s) == o2.key(None, s)
+
+    def test_random_orders_differ_across_seeds(self):
+        alphabet = [A1, A2, B1, B2, C1]
+        keys1 = [RandomOrder(alphabet, seed=1).key(None, s) for s in alphabet]
+        keys2 = [RandomOrder(alphabet, seed=2).key(None, s) for s in alphabet]
+        assert keys1 != keys2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from([A1, A2, B1, B2, C1]), max_size=5))
+def test_class_members_mutually_equivalent(word):
+    """Swap closure and projection characterization agree on random words."""
+    # drop duplicate letter occurrences to keep identity-based projections sane
+    deduped = []
+    for s in word:
+        if s not in deduped:
+            deduped.append(s)
+    cls = enumerate_class(tuple(deduped), REL)
+    for member in cls:
+        assert equivalent(tuple(deduped), member, REL)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations([A1, A2, B1, B2, C1]), st.integers(0, 5))
+def test_minimal_word_is_least(perm, seed):
+    order = RandomOrder([A1, A2, B1, B2, C1], seed=seed)
+    cls = enumerate_class(tuple(perm), REL)
+    best = minimal_word(order, cls)
+    for member in cls:
+        assert prefers(order, best, member)
+
+
+class TestDependenceGraph:
+    def test_independent_letters_no_edges(self):
+        from repro.core.mazurkiewicz import dependence_graph
+
+        assert dependence_graph((A1, B1), REL) == ()
+
+    def test_dependent_letters_edge(self):
+        from repro.core.mazurkiewicz import dependence_graph
+
+        assert dependence_graph((A1, C1), REL) == ((0, 1),)
+
+    def test_same_thread_edge(self):
+        from repro.core.mazurkiewicz import dependence_graph
+
+        assert dependence_graph((A1, A2), REL) == ((0, 1),)
+
+    def test_repeated_letter_dependent(self):
+        from repro.core.mazurkiewicz import dependence_graph
+
+        assert dependence_graph((A1, B1, A1), REL) == ((0, 2),)
+
+    def test_equivalent_words_same_letter_poset(self):
+        from repro.core.mazurkiewicz import dependence_graph
+
+        # for equivalent words, the set of dependent letter PAIRS is equal
+        def letter_pairs(word):
+            return {
+                frozenset((id(word[i]), id(word[j])))
+                for i, j in dependence_graph(word, REL)
+            }
+
+        assert letter_pairs((A1, B1, C1)) == letter_pairs((B1, A1, C1))

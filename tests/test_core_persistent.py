@@ -1,0 +1,167 @@
+"""Persistent set (Algorithm 1) tests against Definitions 6.1 / 6.3."""
+
+import pytest
+
+from repro.automata import explore
+from repro.core import (
+    FullCommutativity,
+    PersistentSetProvider,
+    SyntacticCommutativity,
+    ThreadUniformOrder,
+    LockstepOrder,
+    is_membrane,
+    is_weakly_persistent,
+)
+from repro.lang import assign, assume, parse
+from repro.logic import add, gt, intc, var
+
+from helpers import make_program, straight_line_thread
+
+
+def sample_states(program, limit=200):
+    view = program.product_view("both")
+    states, _ = explore(view, max_states=limit)
+    return view, states
+
+
+class TestAlgorithmOne:
+    def test_independent_threads_pick_one(self):
+        """Under full commutativity + seq order, E is a single thread."""
+        prog = make_program(
+            [
+                straight_line_thread(i, [assign(i, f"v{i}", intc(0))], f"T{i}")
+                for i in range(3)
+            ]
+        )
+        provider = PersistentSetProvider(
+            prog, ThreadUniformOrder(), FullCommutativity()
+        )
+        ctx = None
+        M = provider.persistent_letters(prog.initial_state(), ctx)
+        threads = {s.thread for s in M}
+        assert threads == {0}  # highest-priority thread only
+
+    def test_terminated_threads_skipped(self):
+        prog = make_program(
+            [
+                straight_line_thread(0, [assign(0, "x", intc(0))], "A"),
+                straight_line_thread(1, [assign(1, "y", intc(0))], "B"),
+            ]
+        )
+        provider = PersistentSetProvider(
+            prog, ThreadUniformOrder(), FullCommutativity()
+        )
+        state = (prog.threads[0].exit, prog.threads[1].initial)
+        M = provider.persistent_letters(state, None)
+        assert {s.thread for s in M} == {1}
+
+    def test_all_terminated_empty(self):
+        prog = make_program(
+            [straight_line_thread(0, [assign(0, "x", intc(0))], "A")]
+        )
+        provider = PersistentSetProvider(
+            prog, ThreadUniformOrder(), FullCommutativity()
+        )
+        assert provider.persistent_letters((prog.threads[0].exit,), None) == frozenset()
+
+    def test_conflicting_threads_merged(self):
+        """Write-write conflicts force both threads into E."""
+        prog = make_program(
+            [
+                straight_line_thread(0, [assign(0, "x", intc(1))], "A"),
+                straight_line_thread(1, [assign(1, "x", intc(2))], "B"),
+            ]
+        )
+        provider = PersistentSetProvider(
+            prog, ThreadUniformOrder(), SyntacticCommutativity()
+        )
+        M = provider.persistent_letters(prog.initial_state(), None)
+        assert {s.thread for s in M} == {0, 1}
+
+    def test_future_conflict_detected(self):
+        """⇝ looks at locations *reachable* in the other thread."""
+        prog = make_program(
+            [
+                straight_line_thread(0, [assign(0, "x", intc(1))], "A"),
+                straight_line_thread(
+                    1,
+                    [assign(1, "y", intc(0)), assign(1, "x", intc(2))],
+                    "B",
+                ),
+            ]
+        )
+        provider = PersistentSetProvider(
+            prog, ThreadUniformOrder(), SyntacticCommutativity()
+        )
+        M = provider.persistent_letters(prog.initial_state(), None)
+        # B's first letter doesn't touch x, but its successor does:
+        # A conflicts with B's future, so both must be in E
+        assert {s.thread for s in M} == {0, 1}
+
+
+@pytest.mark.parametrize(
+    "make_order",
+    [
+        lambda prog: ThreadUniformOrder(),
+        lambda prog: LockstepOrder(len(prog.threads)),
+    ],
+)
+class TestDefinitionsHold:
+    def _check_program(self, prog, make_order, max_length):
+        order = make_order(prog)
+        rel = SyntacticCommutativity()
+        provider = PersistentSetProvider(prog, order, rel)
+        view, states = sample_states(prog)
+        ctx = order.initial_context()  # context-free orders only here
+        for state in states:
+            M = provider.persistent_letters(state, ctx)
+            assert is_weakly_persistent(
+                view, state, M, rel, max_length=max_length
+            ), f"not weakly persistent at {state}"
+            assert is_membrane(
+                view, state, M, max_length=max_length
+            ), f"not a membrane at {state}"
+
+    def test_independent(self, make_order):
+        prog = make_program(
+            [
+                straight_line_thread(
+                    i, [assign(i, f"v{i}", intc(k)) for k in range(2)], f"T{i}"
+                )
+                for i in range(2)
+            ]
+        )
+        self._check_program(prog, make_order, max_length=4)
+
+    def test_shared_counter(self, make_order):
+        x = var("x")
+        prog = make_program(
+            [
+                straight_line_thread(0, [assign(0, "x", add(x, intc(1)))], "A"),
+                straight_line_thread(1, [assign(1, "x", intc(0))], "B"),
+                straight_line_thread(2, [assign(2, "y", intc(1))], "C"),
+            ]
+        )
+        self._check_program(prog, make_order, max_length=3)
+
+    def test_with_asserts_observer_included(self, make_order):
+        prog = parse(
+            """
+            var x: int = 0;
+            var y: int = 0;
+            thread A { assert x == 0; }
+            thread B { y := 1; }
+            """
+        )
+        order = make_order(prog)
+        rel = SyntacticCommutativity()
+        provider = PersistentSetProvider(prog, order, rel)
+        M = provider.persistent_letters(
+            prog.initial_state(), order.initial_context()
+        )
+        # the observer thread A must be in every persistent set
+        assert any(s.thread == 0 for s in M)
+        view, states = sample_states(prog)
+        for state in states:
+            M = provider.persistent_letters(state, order.initial_context())
+            assert is_membrane(view, state, M, max_length=4)

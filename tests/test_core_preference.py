@@ -1,0 +1,102 @@
+"""Preference order unit tests (construction, contexts, edge cases)."""
+
+import pytest
+
+from repro.core import (
+    LockstepOrder,
+    PositionalOrder,
+    RandomOrder,
+    ThreadUniformOrder,
+    prefers,
+)
+from repro.lang import assign
+from repro.logic import intc
+
+A = assign(0, "x", intc(1))
+B = assign(1, "y", intc(1))
+C = assign(2, "z", intc(1))
+
+
+class TestThreadUniform:
+    def test_default_priority_is_thread_index(self):
+        order = ThreadUniformOrder()
+        ctx = order.initial_context()
+        assert order.key(ctx, A) < order.key(ctx, B) < order.key(ctx, C)
+
+    def test_custom_priority(self):
+        order = ThreadUniformOrder(priority=[2, 1, 0])
+        ctx = order.initial_context()
+        assert order.key(ctx, C) < order.key(ctx, B) < order.key(ctx, A)
+
+    def test_context_is_constant(self):
+        order = ThreadUniformOrder()
+        ctx = order.initial_context()
+        assert order.advance(ctx, A) == ctx
+
+    def test_keys_are_strict(self):
+        order = ThreadUniformOrder()
+        a2 = assign(0, "w", intc(0))
+        ctx = order.initial_context()
+        assert order.key(ctx, A) != order.key(ctx, a2)  # uid tiebreak
+
+
+class TestLockstep:
+    def test_initial_prefers_thread_zero(self):
+        order = LockstepOrder(3)
+        ctx = order.initial_context()
+        assert order.key(ctx, A) < order.key(ctx, B) < order.key(ctx, C)
+
+    def test_rotation_after_move(self):
+        order = LockstepOrder(3)
+        ctx = order.advance(order.initial_context(), A)
+        # after thread 0 moves, thread 1 is most preferred, 0 least
+        assert order.key(ctx, B) < order.key(ctx, C) < order.key(ctx, A)
+
+    def test_wraparound(self):
+        order = LockstepOrder(3)
+        ctx = order.advance(order.initial_context(), C)
+        assert order.key(ctx, A) < order.key(ctx, B) < order.key(ctx, C)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            LockstepOrder(0)
+
+
+class TestRandom:
+    def test_unknown_letter_sorts_last(self):
+        order = RandomOrder([A, B], seed=0)
+        ctx = order.initial_context()
+        assert order.key(ctx, C) > order.key(ctx, A)
+        assert order.key(ctx, C) > order.key(ctx, B)
+
+    def test_name_contains_seed(self):
+        assert RandomOrder([A], seed=42).name == "rand(42)"
+
+
+class TestPositional:
+    def test_custom_positional_order(self):
+        # alternate preference between thread 0 and thread 1 by parity
+        order = PositionalOrder(
+            initial=0,
+            advance=lambda ctx, letter: 1 - ctx,
+            key=lambda ctx, letter: (
+                (letter.thread + ctx) % 2,
+                letter.uid,
+            ),
+            name="parity",
+        )
+        ctx = order.initial_context()
+        assert order.key(ctx, A) < order.key(ctx, B)
+        ctx = order.advance(ctx, A)
+        assert order.key(ctx, B) < order.key(ctx, A)
+
+    def test_prefers_uses_contexts(self):
+        order = LockstepOrder(2)
+        # under lockstep, A B is preferred to A A' (after A, thread 1 first)
+        a2 = assign(0, "w", intc(0))
+        assert prefers(order, (A, B), (A, a2))
+        assert not prefers(order, (A, a2), (A, B))
+
+    def test_prefers_equal_words(self):
+        order = ThreadUniformOrder()
+        assert prefers(order, (A, B), (A, B))

@@ -1,0 +1,63 @@
+"""Reduction API validation and edge cases."""
+
+import pytest
+
+from repro.core import SyntacticCommutativity, ThreadUniformOrder
+from repro.core.reduction import MODES, ReducedProduct, reduce_program
+from repro.lang import parse
+
+
+def program():
+    return parse(
+        "var x: int = 0; thread A { x := 1; } thread B { x := 2; }",
+        name="p",
+    )
+
+
+class TestValidation:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ReducedProduct(program(), mode="turbo")
+
+    def test_invalid_accepting(self):
+        with pytest.raises(ValueError):
+            ReducedProduct(program(), accepting="sometimes")
+
+    def test_modes_constant(self):
+        assert set(MODES) == {"combined", "sleep", "persistent", "none"}
+
+    def test_defaults(self):
+        reduced = reduce_program(program())
+        assert reduced.mode == "combined"
+        assert reduced.order.name == "seq"
+
+
+class TestDegenerate:
+    def test_single_thread_reduction_is_identity(self):
+        prog = parse("var x: int = 0; thread A { x := 1; x := 2; }", name="s")
+        reduced = ReducedProduct(
+            prog, ThreadUniformOrder(), SyntacticCommutativity(),
+            accepting="exit",
+        )
+        dfa = reduced.to_dfa()
+        assert dfa.language_up_to(2) == prog.product_dfa("exit").language_up_to(2)
+
+    def test_empty_alphabet_program(self):
+        # a thread whose body is skip still has one letter; the smallest
+        # program has one skip edge
+        prog = parse("thread A { skip; }", name="tiny")
+        reduced = ReducedProduct(prog, accepting="exit")
+        dfa = reduced.to_dfa()
+        assert dfa.num_states() == 2
+
+    def test_max_states_enforced(self):
+        from repro.automata import ExplorationLimit
+
+        prog = parse(
+            "var x: int = 0;"
+            + "".join(f"thread T{i} {{ x := {i}; x := {i}; }}" for i in range(5)),
+            name="wide",
+        )
+        reduced = ReducedProduct(prog, mode="none", accepting="exit")
+        with pytest.raises(ExplorationLimit):
+            reduced.to_dfa(max_states=3)

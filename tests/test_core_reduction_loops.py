@@ -1,0 +1,123 @@
+"""Reduction oracle on random programs WITH loops and branches.
+
+The straight-line random-program test in test_core_reduction.py covers
+acyclic products; here threads may loop and branch, exercising the
+sleep-set unrolling behavior (§5) and persistent-set conflict closure
+over cyclic reachability.  Languages are compared up to a length bound
+(exact per class, since equivalence preserves length).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RandomOrder, SyntacticCommutativity, ThreadUniformOrder
+from repro.core.preference import LockstepOrder
+from repro.lang import Statement, assign, assume, skip
+from repro.lang.cfg import ThreadCFG
+from repro.logic import add, gt, intc, var
+
+from helpers import check_reduction_oracle, make_program
+
+_VARS = ["x", "y"]
+
+
+def _statement(thread: int, code: int) -> Statement:
+    kind = code % 3
+    target = _VARS[(code // 3) % 2]
+    other = _VARS[(code // 6) % 2]
+    if kind == 0:
+        return assign(thread, target, intc(code % 3))
+    if kind == 1:
+        return assign(thread, target, add(var(other), intc(1)))
+    return assume(thread, gt(var(other), intc(0)))
+
+
+def _loop_thread(index: int, body_codes, after_codes) -> ThreadCFG:
+    """while (*) { body } after — built directly as a CFG."""
+    edges = {}
+    enter = skip(index, f"enter{index}")
+    leave = skip(index, f"leave{index}")
+    body = [_statement(index, c) for c in body_codes]
+    after = [_statement(index, c) for c in after_codes]
+    head = 0
+    first_after = 1 + len(body)
+    edges[head] = [(enter, 1 if body else head), (leave, first_after)]
+    for i, stmt in enumerate(body):
+        src = 1 + i
+        dst = head if i == len(body) - 1 else src + 1
+        edges.setdefault(src, []).append((stmt, dst))
+    for i, stmt in enumerate(after):
+        edges.setdefault(first_after + i, []).append((stmt, first_after + i + 1))
+    return ThreadCFG(
+        name=f"T{index}",
+        index=index,
+        initial=0,
+        exit=first_after + len(after),
+        error=None,
+        edges=edges,
+    )
+
+
+def _branch_thread(index: int, then_code: int, else_code: int) -> ThreadCFG:
+    """A nondeterministic two-way branch that joins again."""
+    take = skip(index, f"then{index}")
+    other = skip(index, f"else{index}")
+    then_stmt = _statement(index, then_code)
+    else_stmt = _statement(index, else_code)
+    edges = {
+        0: [(take, 1), (other, 2)],
+        1: [(then_stmt, 3)],
+        2: [(else_stmt, 3)],
+    }
+    return ThreadCFG(
+        name=f"T{index}", index=index, initial=0, exit=3, error=None,
+        edges=edges,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(0, 17), min_size=1, max_size=1),
+    st.lists(st.integers(0, 17), max_size=1),
+    st.integers(0, 17),
+    st.integers(0, 17),
+    st.integers(0, 4),
+)
+def test_loop_plus_branch_program_oracle(body, after, then_code, else_code, seed):
+    t0 = _loop_thread(0, body, after)
+    t1 = _branch_thread(1, then_code, else_code)
+    prog = make_program([t0, t1])
+    order = RandomOrder(prog.alphabet(), seed=seed)
+    check_reduction_oracle(
+        prog, order, SyntacticCommutativity(), max_length=6
+    )
+
+
+@pytest.mark.parametrize(
+    "make_order",
+    [
+        lambda prog: ThreadUniformOrder(),
+        lambda prog: LockstepOrder(len(prog.threads)),
+    ],
+)
+def test_two_loops_oracle(make_order):
+    t0 = _loop_thread(0, [0], [4])
+    t1 = _loop_thread(1, [10], [])
+    prog = make_program([t0, t1])
+    check_reduction_oracle(
+        prog, make_order(prog), SyntacticCommutativity(), max_length=6
+    )
+
+
+def test_self_loop_thread():
+    """A one-state loop (tightest cycle) against the oracle."""
+    stmt = assign(0, "x", add(var("x"), intc(1)))
+    t0 = ThreadCFG(
+        name="T0", index=0, initial=0, exit=1, error=None,
+        edges={0: [(stmt, 0), (skip(0, "out"), 1)]},
+    )
+    t1 = _branch_thread(1, 1, 4)
+    prog = make_program([t0, t1])
+    check_reduction_oracle(
+        prog, ThreadUniformOrder(), SyntacticCommutativity(), max_length=6
+    )

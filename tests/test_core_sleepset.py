@@ -1,0 +1,131 @@
+"""Sleep set automaton tests on explicit DFAs (§5, Example 5.2 style)."""
+
+import pytest
+
+from repro.automata import DFA, materialize
+from repro.core import (
+    DfaBase,
+    FullCommutativity,
+    SleepSetAutomaton,
+    SyntacticCommutativity,
+    ThreadUniformOrder,
+)
+from repro.core.mazurkiewicz import partition_into_classes
+from repro.core.preference import RandomOrder, minimal_word
+from repro.lang import assign
+from repro.logic import intc
+
+# letters: a1, a2 in thread 0; b1, b2 in thread 1 (ai ↷↷ bj under full
+# commutativity, matching the Figure 3 setup)
+A1 = assign(0, "x", intc(1))
+A2 = assign(0, "x", intc(2))
+B1 = assign(1, "y", intc(1))
+B2 = assign(1, "y", intc(2))
+
+
+def diamond_dfa() -> DFA:
+    """Accepts {a1 b1, b1 a1} — one commuting diamond."""
+    return DFA.build(
+        alphabet={A1, B1},
+        transitions={
+            (0, A1): 1,
+            (0, B1): 2,
+            (1, B1): 3,
+            (2, A1): 3,
+        },
+        initial=0,
+        finals={3},
+    )
+
+
+def shuffle_dfa() -> DFA:
+    """The shuffle of L0 = {a1, a1 a2} and L1 = {b1 b2}.
+
+    A shuffle of per-thread languages is Mazurkiewicz-closed by
+    construction (Theorem 5.3's precondition); this one has branching
+    (the optional a2) like Figure 3's input.
+    """
+    # thread 0: 0 -a1-> 1 -a2-> 2, accepting {1, 2}
+    # thread 1: 0 -b1-> 1 -b2-> 2, accepting {2}
+    t0 = {(0, A1): 1, (1, A2): 2}
+    t1 = {(0, B1): 1, (1, B2): 2}
+    transitions = {}
+    for q0 in range(3):
+        for q1 in range(3):
+            for (src, letter), dst in t0.items():
+                if src == q0:
+                    transitions[((q0, q1), letter)] = (dst, q1)
+            for (src, letter), dst in t1.items():
+                if src == q1:
+                    transitions[((q0, q1), letter)] = (q0, dst)
+    finals = {(q0, 2) for q0 in (1, 2)}
+    return DFA.build({A1, A2, B1, B2}, transitions, (0, 0), finals)
+
+
+class TestDiamond:
+    def test_prunes_dominated_order(self):
+        sleeper = SleepSetAutomaton(
+            DfaBase(diamond_dfa()), ThreadUniformOrder(), FullCommutativity()
+        )
+        dfa = materialize(sleeper, {A1, B1})
+        words = dfa.language_up_to(2)
+        assert words == {(A1, B1)}  # b1 a1 pruned: a1 < b1 and they commute
+
+    def test_no_commutativity_keeps_both(self):
+        class NoCommute:
+            def commute(self, a, b):
+                return False
+
+        sleeper = SleepSetAutomaton(
+            DfaBase(diamond_dfa()), ThreadUniformOrder(), NoCommute()
+        )
+        dfa = materialize(sleeper, {A1, B1})
+        assert dfa.language_up_to(2) == {(A1, B1), (B1, A1)}
+
+
+class TestGeneralDfa:
+    @pytest.mark.parametrize("seed", [None, 0, 1, 2])
+    def test_exact_reduction_language(self, seed):
+        """Theorem 5.3 on a DFA with branches and a join."""
+        base = shuffle_dfa()
+        if seed is None:
+            order = ThreadUniformOrder()
+        else:
+            order = RandomOrder([A1, A2, B1, B2], seed)
+        rel = SyntacticCommutativity()
+        sleeper = SleepSetAutomaton(DfaBase(base), order, rel)
+        reduced = materialize(sleeper, base.alphabet)
+        full_words = base.language_up_to(4)
+        reduced_words = reduced.language_up_to(4)
+        assert reduced_words <= full_words
+        for cls in partition_into_classes(full_words, rel):
+            reps = cls & reduced_words
+            assert len(reps) == 1
+            (rep,) = reps
+            assert rep == minimal_word(order, cls)
+
+    def test_states_may_duplicate(self):
+        """Sleep sets distinguish states by their sleep set (§5)."""
+        base = shuffle_dfa()
+        sleeper = SleepSetAutomaton(
+            DfaBase(base), ThreadUniformOrder(), SyntacticCommutativity()
+        )
+        reduced = materialize(sleeper, base.alphabet)
+        base_states = {q for (q, _s, _c) in reduced.states()}
+        # every reduced state projects to a base state
+        assert base_states <= base.states()
+
+
+class TestDfaBaseAdapter:
+    def test_roundtrip(self):
+        base = diamond_dfa()
+        adapter = DfaBase(base)
+        assert adapter.initial_state() == 0
+        assert set(adapter.successors(0)) == {(A1, 1), (B1, 2)}
+        assert adapter.is_accepting(3)
+        assert not adapter.is_accepting(0)
+
+    def test_rematerialize_equal_language(self):
+        base = diamond_dfa()
+        rebuilt = materialize(DfaBase(base), base.alphabet)
+        assert rebuilt.language_up_to(3) == base.language_up_to(3)

@@ -1,0 +1,119 @@
+"""Experiment harness tests (tool configs, caching, aggregation)."""
+
+import pytest
+
+from repro.benchmarks import by_name
+from repro.harness import (
+    SuiteAggregate,
+    aggregate,
+    emit,
+    result_row,
+    run_cached,
+    run_tool,
+    time_budget,
+)
+from repro.verifier import Verdict, VerificationResult
+
+
+FAST_BENCH = "counter-sum(2)"
+
+
+class TestRunTool:
+    def test_baseline(self):
+        result = run_tool(by_name(FAST_BENCH).build(), "baseline")
+        assert result.verdict == Verdict.CORRECT
+        assert result.mode == "none"
+
+    def test_single_order(self):
+        result = run_tool(by_name(FAST_BENCH).build(), "lockstep")
+        assert result.verdict == Verdict.CORRECT
+        assert result.order_name == "lockstep"
+
+    def test_random_order(self):
+        result = run_tool(by_name(FAST_BENCH).build(), "rand(2)")
+        assert result.order_name == "rand(2)"
+
+    def test_ablation_modes(self):
+        for tool in ("sleep", "persistent"):
+            result = run_tool(by_name(FAST_BENCH).build(), tool)
+            assert result.verdict == Verdict.CORRECT
+            assert result.mode == tool
+
+    def test_portfolio(self):
+        result = run_tool(by_name(FAST_BENCH).build(), "portfolio")
+        assert result.verdict == Verdict.CORRECT
+        assert result.order_name.startswith("portfolio[")
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(ValueError):
+            run_tool(by_name(FAST_BENCH).build(), "magic")
+
+
+class TestCaching:
+    def test_cached_identity(self):
+        bench = by_name(FAST_BENCH)
+        r1 = run_cached(bench, "baseline")
+        r2 = run_cached(bench, "baseline")
+        assert r1 is r2
+
+    def test_portfolio_populates_members(self):
+        from repro import harness
+
+        bench = by_name(FAST_BENCH)
+        run_cached(bench, "portfolio")
+        assert (bench.name, "seq") in harness._cache
+        assert (bench.name, "lockstep") in harness._cache
+
+
+class TestAggregation:
+    def _result(self, verdict, time_s=1.0, rounds=2):
+        return VerificationResult(
+            program_name="p",
+            verdict=verdict,
+            rounds=rounds,
+            time_seconds=time_s,
+            peak_memory_bytes=1000,
+        )
+
+    def test_counts_solved_only(self):
+        bench = by_name(FAST_BENCH)
+        agg = SuiteAggregate("t")
+        agg.add(bench, self._result(Verdict.CORRECT))
+        agg.add(bench, self._result(Verdict.INCORRECT))
+        agg.add(bench, self._result(Verdict.TIMEOUT))
+        assert agg.successful == 2
+        assert agg.correct == 1
+        assert agg.incorrect == 1
+        assert agg.time_seconds == pytest.approx(2.0)
+
+    def test_aggregate_function(self):
+        bench = by_name(FAST_BENCH)
+        pairs = [(bench, self._result(Verdict.CORRECT, 0.5, 3))]
+        agg = aggregate(pairs, "label")
+        assert agg.label == "label"
+        assert agg.rounds == 3
+
+
+class TestOutput:
+    def test_emit_persists(self, tmp_path, monkeypatch):
+        import repro.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        text = emit("unit-test", ["row1", "row2"])
+        assert "row1" in text
+        assert (tmp_path / "unit-test.txt").read_text() == "row1\nrow2\n"
+
+    def test_result_row_shape(self):
+        result = VerificationResult(
+            program_name="p", verdict=Verdict.CORRECT, rounds=2,
+            proof_size=5, states_explored=10, time_seconds=0.25,
+            peak_memory_bytes=2_000_000, order_name="seq",
+        )
+        row = result_row(result)
+        assert row["program"] == "p"
+        assert row["memory_mb"] == 2.0
+        assert row["verdict"] == "correct"
+
+    def test_budget_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUDGET", "7.5")
+        assert time_budget() == 7.5

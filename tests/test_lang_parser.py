@@ -1,0 +1,199 @@
+"""Parser and instantiation tests."""
+
+import pytest
+
+from repro.lang import ParseError, parse, parse_program
+from repro.lang import ast
+from repro.logic import Solver, eq, intc, var
+
+
+class TestParseProgram:
+    def test_minimal(self):
+        pdef = parse_program("thread Main { skip; }")
+        assert len(pdef.threads) == 1
+        assert pdef.threads[0].name == "Main"
+
+    def test_decls_and_spec(self):
+        pdef = parse_program(
+            """
+            var x: int = 0;
+            var flag: bool = false;
+            pre: x >= 0;
+            post: x >= 1;
+            thread T { x := x + 1; }
+            """
+        )
+        assert [d.name for d in pdef.decls] == ["x", "flag"]
+        assert pdef.pre is not None
+        assert pdef.post is not None
+
+    def test_replication(self):
+        pdef = parse_program(
+            "var x: int = 0; thread W[3] { x := x + 1; }"
+        )
+        assert pdef.threads[0].count == 3
+
+    def test_control_flow(self):
+        pdef = parse_program(
+            """
+            var x: int = 0;
+            thread T {
+                while (*) {
+                    if (x < 10) { x := x + 1; } else { x := 0; }
+                }
+            }
+            """
+        )
+        body = pdef.threads[0].body
+        assert isinstance(body, ast.While)
+        assert body.condition is None
+
+    def test_atomic_and_asserts(self):
+        pdef = parse_program(
+            """
+            var x: int = 0;
+            thread T {
+                atomic { assume x == 0; x := x + 1; }
+                assert x > 0;
+            }
+            """
+        )
+        body = pdef.threads[0].body
+        assert isinstance(body, ast.Seq)
+        assert isinstance(body.stmts[0], ast.Atomic)
+        assert isinstance(body.stmts[1], ast.Assert)
+
+    def test_locals(self):
+        pdef = parse_program(
+            """
+            thread T[2] {
+                local t: int = 0;
+                t := t + 1;
+            }
+            """
+        )
+        assert pdef.threads[0].locals[0].name == "t"
+
+    def test_comments(self):
+        pdef = parse_program(
+            """
+            // a comment
+            thread T { skip; // trailing
+            }
+            """
+        )
+        assert len(pdef.threads) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "thread T { x := 1; }",  # undeclared variable
+            "var x: int; var x: int; thread T { skip; }",  # duplicate
+            "var x: int; thread T { x := true; }",  # sort error
+            "var b: bool; thread T { b := b + 1; }",  # bool arithmetic
+            "var x: int; thread T { assume x; }",  # int in bool position
+            "var x: int; thread T { x := x * x; }",  # nonlinear
+            "thread T { skip }",  # missing semicolon
+            "var x: int;",  # no threads
+            "thread T[0] { skip; }",  # bad count
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+
+class TestBoolEncoding:
+    def test_bool_read_is_eq_one(self):
+        pdef = parse_program(
+            "var b: bool = false; thread T { assume b; }"
+        )
+        assume = pdef.threads[0].body
+        assert assume.condition == eq(var("b"), intc(1))
+
+    def test_bool_assignment_of_expr(self):
+        pdef = parse_program(
+            "var b: bool; var x: int; thread T { b := x > 0; }"
+        )
+        assign = pdef.threads[0].body
+        solver = Solver()
+        # stored value is ite(x > 0, 1, 0)
+        assert solver.is_valid(
+            eq(assign.value, intc(1)).implies(eq(assign.value, intc(1)))
+        )
+
+
+class TestInstantiate:
+    def test_thread_names_and_indices(self):
+        prog = parse(
+            "var x: int = 0; thread W[2] { x := x + 1; } thread S { skip; }"
+        )
+        assert [t.name for t in prog.threads] == ["W1", "W2", "S"]
+        assert [t.index for t in prog.threads] == [0, 1, 2]
+
+    def test_alphabets_disjoint(self):
+        prog = parse("var x: int = 0; thread W[2] { x := x + 1; }")
+        a0 = prog.threads[0].alphabet()
+        a1 = prog.threads[1].alphabet()
+        assert not (a0 & a1)
+
+    def test_locals_renamed_per_replica(self):
+        prog = parse(
+            """
+            thread W[2] {
+                local t: int = 0;
+                t := t + 1;
+            }
+            """
+        )
+        variables = prog.variables()
+        assert "t$W1" in variables and "t$W2" in variables
+
+    def test_initializers_in_pre(self):
+        prog = parse("var x: int = 5; thread T { skip; }")
+        solver = Solver()
+        assert solver.implies(prog.pre, eq(var("x"), intc(5)))
+
+    def test_program_size(self):
+        prog = parse("var x: int = 0; thread T { x := 1; x := 2; }")
+        # locations: entry, middle, exit
+        assert prog.threads[0].size == 3
+        assert prog.size == 3
+
+    def test_error_location_from_assert(self):
+        prog = parse("var x: int = 0; thread T { assert x == 0; }")
+        assert prog.threads[0].error is not None
+        assert prog.has_asserts()
+
+
+class TestProductAutomaton:
+    def test_interleavings_counted(self):
+        prog = parse(
+            "var x: int = 0; var y: int = 0;"
+            "thread A { x := 1; } thread B { y := 1; }"
+        )
+        dfa = prog.product_dfa("exit")
+        words = dfa.language_up_to(2)
+        assert len(words) == 2  # ab and ba
+
+    def test_product_state_count(self):
+        prog = parse(
+            "var x: int = 0; var y: int = 0;"
+            "thread A { x := 1; } thread B { y := 1; }"
+        )
+        dfa = prog.product_dfa("exit")
+        assert dfa.num_states() == 4
+
+    def test_violation_states_terminal(self):
+        prog = parse(
+            "var x: int = 0;"
+            "thread A { assert x == 1; } thread B { x := 1; }"
+        )
+        dfa = prog.product_dfa("error")
+        for w in dfa.language_up_to(3):
+            # once accepted (violation), no extension is explored
+            assert not any(
+                v != w and v[: len(w)] == w for v in dfa.language_up_to(3)
+            )

@@ -1,0 +1,109 @@
+"""Per-thread assert analysis tests (footnote 4)."""
+
+import pytest
+
+from repro import Verdict, VerifierConfig, parse, verify
+from repro.core import PersistentSetProvider, SyntacticCommutativity, ThreadUniformOrder
+from repro.verifier.compositional import (
+    combine_verdicts,
+    observer_threads,
+    restrict_observer,
+    verify_each_thread,
+)
+
+TWO_OBSERVERS = """
+var x: int = 0;
+var y: int = 0;
+thread A { x := x + 1; assert x >= 1; }
+thread B { y := y + 1; assert y >= 1; }
+"""
+
+ONE_BAD = """
+var x: int = 0;
+var y: int = 0;
+thread A { x := x + 1; assert x >= 1; }
+thread B { assert y >= 1; }
+"""
+
+
+def _config():
+    return VerifierConfig(max_rounds=30)
+
+
+class TestRestrictObserver:
+    def test_drops_other_errors(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        restricted = restrict_observer(program, 0)
+        assert restricted.threads[0].error is not None
+        assert restricted.threads[1].error is None
+
+    def test_original_untouched(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        restrict_observer(program, 0)
+        assert program.threads[1].error is not None
+
+    def test_fail_edges_removed(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        restricted = restrict_observer(program, 0)
+        labels = {s.label for s in restricted.threads[1].alphabet()}
+        assert not any("assert-fail" in l for l in labels)
+
+    def test_out_of_range(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        with pytest.raises(IndexError):
+            restrict_observer(program, 5)
+
+    def test_observer_threads(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        assert observer_threads(program) == [0, 1]
+
+
+class TestVerifyEachThread:
+    def test_correct_program(self):
+        program = parse(TWO_OBSERVERS, name="two")
+        results = verify_each_thread(program, config=_config())
+        assert len(results) == 2
+        assert combine_verdicts(results) == Verdict.CORRECT
+
+    def test_detects_single_bad_thread(self):
+        program = parse(ONE_BAD, name="one-bad")
+        results = verify_each_thread(program, config=_config())
+        assert combine_verdicts(results) == Verdict.INCORRECT
+
+    def test_agrees_with_global_analysis(self):
+        for source in (TWO_OBSERVERS, ONE_BAD):
+            program = parse(source, name="p")
+            global_verdict = verify(program, config=_config()).verdict
+            per_thread = combine_verdicts(
+                verify_each_thread(parse(source, name="p"), config=_config())
+            )
+            assert per_thread == global_verdict
+
+    def test_single_observer_degenerates(self):
+        program = parse(
+            "var x: int = 0; thread A { assert x == 0; } thread B { x := 0; }",
+            name="single",
+        )
+        results = verify_each_thread(program, config=_config())
+        assert len(results) == 1
+
+
+class TestPersistentSetBenefit:
+    def test_restriction_shrinks_persistent_sets(self):
+        """With one observer dropped, Algorithm 1 can prune again."""
+        program = parse(TWO_OBSERVERS, name="two")
+        order = ThreadUniformOrder()
+        rel = SyntacticCommutativity()
+        full = PersistentSetProvider(program, order, rel)
+        both = full.persistent_letters(
+            program.initial_state(), order.initial_context()
+        )
+        # both observers forced into the membrane
+        assert {s.thread for s in both} == {0, 1}
+        restricted = restrict_observer(program, 0)
+        single = PersistentSetProvider(restricted, order, rel)
+        only = single.persistent_letters(
+            restricted.initial_state(), order.initial_context()
+        )
+        # threads are independent: now only the observer remains
+        assert {s.thread for s in only} == {0}

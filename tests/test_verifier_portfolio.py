@@ -1,0 +1,82 @@
+"""Portfolio internals tests."""
+
+import pytest
+
+from repro import parse
+from repro.verifier import (
+    DEFAULT_RANDOM_SEEDS,
+    PortfolioResult,
+    Verdict,
+    VerificationResult,
+    standard_orders,
+)
+
+
+def program():
+    return parse(
+        "var x: int = 0; thread A { x := 1; } thread B { x := 2; }",
+        name="p",
+    )
+
+
+def result(verdict, time_s, order="seq"):
+    return VerificationResult(
+        program_name="p",
+        verdict=verdict,
+        time_seconds=time_s,
+        rounds=1,
+        order_name=order,
+    )
+
+
+class TestStandardOrders:
+    def test_five_members(self):
+        orders = standard_orders(program())
+        assert len(orders) == 2 + len(DEFAULT_RANDOM_SEEDS)
+        names = [o.name for o in orders]
+        assert names[0] == "seq"
+        assert names[1] == "lockstep"
+        assert names[2].startswith("rand(")
+
+    def test_custom_seeds(self):
+        orders = standard_orders(program(), seeds=(7,))
+        assert [o.name for o in orders] == ["seq", "lockstep", "rand(7)"]
+
+
+class TestPortfolioResult:
+    def test_winner_is_fastest_solver(self):
+        pr = PortfolioResult("p")
+        pr.members = [
+            result(Verdict.TIMEOUT, 0.1),
+            result(Verdict.CORRECT, 2.0, "lockstep"),
+            result(Verdict.CORRECT, 1.0, "rand(1)"),
+        ]
+        assert pr.winner.order_name == "rand(1)"
+        assert pr.verdict == Verdict.CORRECT
+        agg = pr.aggregate()
+        assert agg.order_name == "portfolio[rand(1)]"
+        assert agg.time_seconds == 1.0
+
+    def test_no_winner(self):
+        pr = PortfolioResult("p")
+        pr.members = [result(Verdict.TIMEOUT, 3.0), result(Verdict.UNKNOWN, 1.0)]
+        assert pr.winner is None
+        assert not pr.solved
+        agg = pr.aggregate()
+        assert agg.verdict == Verdict.UNKNOWN
+        # reflects the parallel portfolio running to the slowest member
+        assert agg.time_seconds == 3.0
+
+    def test_incorrect_wins(self):
+        pr = PortfolioResult("p")
+        pr.members = [
+            result(Verdict.INCORRECT, 0.5),
+            result(Verdict.CORRECT, 0.1),
+        ]
+        # fastest solving member decides; CORRECT at 0.1 wins the race
+        assert pr.verdict == Verdict.CORRECT
+
+    def test_empty_members(self):
+        pr = PortfolioResult("p")
+        assert pr.winner is None
+        assert pr.aggregate().verdict == Verdict.UNKNOWN
