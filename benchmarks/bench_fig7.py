@@ -6,15 +6,20 @@ Shape: points on or below the diagonal, with reductions up to large
 factors for rounds and proof size.
 """
 
+import time
+
 from repro.benchmarks import all_benchmarks
-from repro.harness import emit, emit_json, run_cached
+from repro.harness import cache_summary, emit, emit_json, run_cached, _log_progress
 
 
 def _run():
     points = []
+    runs = []
+    started = time.perf_counter()
     for bench in all_benchmarks():
         base = run_cached(bench, "baseline")
         gem = run_cached(bench, "portfolio")
+        runs.append((bench, gem))
         if base.verdict.solved and gem.verdict.solved:
             points.append(
                 {
@@ -24,11 +29,18 @@ def _run():
                     "proof": (base.proof_size, gem.proof_size),
                 }
             )
-    return points
+    caches = cache_summary(runs)
+    _log_progress(
+        f"fig7 summary: wall={time.perf_counter() - started:.1f}s "
+        f"solver_hit={caches['solver_hit_rate']:.1%} "
+        f"comm_hit={caches['comm_hit_rate']:.1%} "
+        f"decisions={caches['solver_decisions']}"
+    )
+    return points, caches
 
 
 def test_fig7_rounds_and_proof_scatter(benchmark):
-    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    points, caches = benchmark.pedantic(_run, rounds=1, iterations=1)
     lines = [
         f"{'program':32s} {'kind':10s} {'rounds A':>8s} {'rounds G':>8s}"
         f" {'proof A':>8s} {'proof G':>8s}"
@@ -46,7 +58,16 @@ def test_fig7_rounds_and_proof_scatter(benchmark):
     lines.append("")
     lines.append(f"total rounds: Automizer {ra}, GemCutter {rg}")
     lines.append(f"total proof size (correct): Automizer {pa}, GemCutter {pg}")
+    lines.append("")
+    lines.append(
+        "query caches (GemCutter runs): "
+        f"solver {caches['solver_cache_hits']}/{caches['solver_sat_queries']} "
+        f"hits ({caches['solver_hit_rate']:.1%}), "
+        f"commutativity {caches['comm_cache_hits']}/{caches['comm_questions']} "
+        f"hits ({caches['comm_hit_rate']:.1%})"
+    )
     emit("fig7", lines)
-    emit_json("fig7", points)
+    emit_json("fig7", {"points": points, "cache_summary": caches})
     assert points
     assert rg <= ra, "GemCutter should need no more rounds in total"
+    assert caches["solver_hit_rate"] > 0, "query cache never hit on fig7"

@@ -75,6 +75,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"  {member.summary()}")
         verdict = combine_verdicts(results)
         print(f"combined: {verdict.value}")
+        if args.show_cache_stats:
+            for member in results:
+                _print_cache_stats(member)
         return 0 if verdict.solved else 1
     result = verify(
         program, order, ConditionalCommutativity(solver), config=config,
@@ -89,7 +92,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("proof predicates:")
         for predicate in result.predicates:
             print(f"  {predicate!r}")
+    if args.show_cache_stats:
+        _print_cache_stats(result)
     return 0 if result.verdict.solved else 1
+
+
+def _print_cache_stats(result) -> None:
+    if result.query_stats is None:
+        print("cache stats: unavailable for this run")
+        return
+    print("cache stats:")
+    for line in result.query_stats.summary().splitlines():
+        print(f"  {line}")
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
@@ -100,6 +114,8 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print(f"  {member.summary()}")
     aggregated = outcome.aggregate()
     print(aggregated.summary())
+    if args.show_cache_stats:
+        _print_cache_stats(aggregated)
     return 0 if aggregated.verdict.solved else 1
 
 
@@ -161,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("file", help="program file ('-' for stdin)")
         p.add_argument("--max-rounds", type=int, default=60)
         p.add_argument("--timeout", type=float, default=None, help="seconds")
+        p.add_argument(
+            "--show-cache-stats", action="store_true",
+            help="report solver/commutativity query counts and cache hit rates",
+        )
 
     p_verify = sub.add_parser("verify", help="verify a program")
     common(p_verify)

@@ -2,6 +2,7 @@
 
 from .commutativity import (
     CommutativityRelation,
+    CommutativityStats,
     ConditionalCommutativity,
     FullCommutativity,
     ProofSensitiveAdapter,
@@ -31,6 +32,7 @@ from .sleepset import DfaBase, SleepSetAutomaton
 
 __all__ = [
     "CommutativityRelation",
+    "CommutativityStats",
     "ConditionalCommutativity",
     "FullCommutativity",
     "ProofSensitiveAdapter",

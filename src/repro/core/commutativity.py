@@ -24,6 +24,7 @@ the space-complexity theorems (Thm 4.3 / 7.2) and by the test oracles.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from typing import Iterable, Protocol
 
 from ..lang.statements import Statement
@@ -35,6 +36,38 @@ class CommutativityRelation(Protocol):
 
     def commute(self, a: Statement, b: Statement) -> bool:
         """Symmetric; must be False for statements of the same thread."""
+
+
+@dataclass
+class CommutativityStats:
+    """Instrumentation for the solver-backed commutativity relations.
+
+    One record is shared by a :class:`ConditionalCommutativity` and its
+    embedded unconditional relation, so it covers both query kinds.
+    ``queries`` counts commutativity questions that got past the
+    same-thread short-circuit; each is settled by the syntactic check
+    (``syntactic_hits``), a memoized verdict (``cache_hits``), or a fresh
+    solver validity check (``solver_checks``, of which
+    ``unknown_fallbacks`` gave up and soundly answered "do not
+    commute").
+    """
+
+    queries: int = 0
+    syntactic_hits: int = 0
+    cache_hits: int = 0
+    solver_checks: int = 0
+    unknown_fallbacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of (non-syntactic) questions answered from memory."""
+        asked = self.cache_hits + self.solver_checks
+        return self.cache_hits / asked if asked else 0.0
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_rate"] = round(self.hit_rate, 4)
+        return out
 
 
 def _same_thread(a: Statement, b: Statement) -> bool:
@@ -96,27 +129,45 @@ class SemanticCommutativity:
     the paper's implementation does the same on SMT timeout).
     """
 
-    def __init__(self, solver: Solver | None = None) -> None:
+    def __init__(
+        self,
+        solver: Solver | None = None,
+        *,
+        memoize: bool = True,
+        stats: CommutativityStats | None = None,
+    ) -> None:
         self._solver = solver or Solver()
         self._syntactic = SyntacticCommutativity()
+        self._memoize = memoize
         self._cache: dict[tuple[int, int], bool] = {}
+        self.stats = stats if stats is not None else CommutativityStats()
 
     def commute(self, a: Statement, b: Statement) -> bool:
         if _same_thread(a, b):
             return False
+        self.stats.queries += 1
         if self._syntactic.commute(a, b):
+            self.stats.syntactic_hits += 1
             return True
         if not a.is_deterministic or not b.is_deterministic:
             return False
         key = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
+        if self._memoize:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+        self.stats.solver_checks += 1
         try:
             result = self._solver.is_valid(composition_equal_condition(a, b))
         except SolverUnknown:
-            result = False
-        self._cache[key] = result
+            # budget-dependent verdict: answer soundly but do not memoize
+            # (the solver's epoch-scoped unknown cache absorbs repeats,
+            # and a later run with a fresh budget gets a fresh chance)
+            self.stats.unknown_fallbacks += 1
+            return False
+        if self._memoize:
+            self._cache[key] = result
         return result
 
 
@@ -128,19 +179,44 @@ class ConditionalCommutativity:
     makes this usable wherever a plain relation is expected.
     """
 
-    def __init__(self, solver: Solver | None = None) -> None:
+    def __init__(
+        self, solver: Solver | None = None, *, memoize: bool = True
+    ) -> None:
         self._solver = solver or Solver()
         self._syntactic = SyntacticCommutativity()
-        self._unconditional = SemanticCommutativity(self._solver)
+        self.stats = CommutativityStats()
+        self._memoize = memoize
+        self._unconditional = SemanticCommutativity(
+            self._solver, memoize=memoize, stats=self.stats
+        )
         self._cache: dict[tuple[Term, int, int], bool] = {}
+        #: bumped by :meth:`note_vocabulary_grown`; consumers holding
+        #: derived caches (e.g. the proof checker's subsumption entries)
+        #: compare against it to apply the monotone invalidation rule
+        self.vocabulary_epoch = 0
 
     def commute(self, a: Statement, b: Statement) -> bool:
         return self._unconditional.commute(a, b)
 
+    def note_vocabulary_grown(self) -> None:
+        """Signal that the Floyd/Hoare predicate vocabulary grew.
+
+        Memoized verdicts here are keyed by the *exact* relevant-context
+        predicate, so growth never makes an entry wrong: commuting under
+        φ is monotone in φ (Def. 7.3), and a negative verdict is only
+        reused for the identical context.  The monotone invalidation
+        rule therefore keeps every entry and merely advances the epoch,
+        which tells derived predicate-set-keyed caches (the proof
+        checker's subsumption entries) to compact to their frontier.
+        """
+        self.vocabulary_epoch += 1
+
     def commute_under(self, phi: Term, a: Statement, b: Statement) -> bool:
         if _same_thread(a, b):
             return False
+        self.stats.queries += 1
         if self._syntactic.commute(a, b):
+            self.stats.syntactic_hits += 1
             return True
         if self._unconditional.commute(a, b):
             return True
@@ -161,14 +237,21 @@ class ConditionalCommutativity:
             return False  # nothing relevant known: same as unconditional
         pair = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
         key = (context,) + pair
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
+        if self._memoize:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+        self.stats.solver_checks += 1
         try:
             result = self._solver.is_valid(implies(context, condition))
         except SolverUnknown:
-            result = False
-        self._cache[key] = result
+            # budget-dependent: sound fallback, not memoized (see
+            # SemanticCommutativity.commute)
+            self.stats.unknown_fallbacks += 1
+            return False
+        if self._memoize:
+            self._cache[key] = result
         return result
 
 

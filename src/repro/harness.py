@@ -151,9 +151,15 @@ def run_cached(bench: Benchmark, tool: str) -> VerificationResult:
         _log_progress(f"run {tool:16s} {bench.name}")
         hit = run_tool(bench.build(), tool)
         _cache[key] = hit
+        qs = hit.query_stats
+        cache_note = (
+            f" solver_hit={qs.solver_hit_rate:.0%} comm_hit={qs.commutativity_hit_rate:.0%}"
+            if qs is not None
+            else ""
+        )
         _log_progress(
             f"  -> {hit.verdict.value:9s} {hit.time_seconds:6.1f}s "
-            f"rounds={hit.rounds}"
+            f"rounds={hit.rounds}{cache_note}"
         )
     return hit
 
@@ -221,7 +227,7 @@ def emit_json(name: str, payload) -> None:
 
 
 def result_row(result: VerificationResult) -> dict:
-    return {
+    row = {
         "program": result.program_name,
         "verdict": result.verdict.value,
         "rounds": result.rounds,
@@ -230,4 +236,44 @@ def result_row(result: VerificationResult) -> dict:
         "time_s": round(result.time_seconds, 3),
         "memory_mb": round(result.peak_memory_bytes / 1e6, 2),
         "order": result.order_name,
+    }
+    qs = result.query_stats
+    if qs is not None:
+        row["solver_queries"] = qs.solver_sat_queries
+        row["solver_hit_rate"] = round(qs.solver_hit_rate, 4)
+        row["comm_hit_rate"] = round(qs.commutativity_hit_rate, 4)
+    return row
+
+
+def cache_summary(
+    pairs: Iterable[tuple[Benchmark, VerificationResult]]
+) -> dict:
+    """Aggregate cache behaviour over a set of runs (fig7 reporting)."""
+    sat = hits = decisions = comm_asked = comm_hits = 0
+    solver_time = 0.0
+    for _bench, result in pairs:
+        qs = result.query_stats
+        if qs is None:
+            continue
+        sat += qs.solver_sat_queries
+        hits += (
+            qs.solver_cache_hits
+            + qs.solver_model_pool_hits
+            + qs.solver_unknown_cache_hits
+        )
+        decisions += qs.solver_decisions
+        comm_asked += (
+            qs.comm_subsumption_hits + qs.comm_cache_hits + qs.comm_solver_checks
+        )
+        comm_hits += qs.comm_subsumption_hits + qs.comm_cache_hits
+        solver_time += qs.solver_time_seconds
+    return {
+        "solver_sat_queries": sat,
+        "solver_cache_hits": hits,
+        "solver_decisions": decisions,
+        "solver_hit_rate": round(hits / sat, 4) if sat else 0.0,
+        "comm_questions": comm_asked,
+        "comm_cache_hits": comm_hits,
+        "comm_hit_rate": round(comm_hits / comm_asked, 4) if comm_asked else 0.0,
+        "solver_time_seconds": round(solver_time, 3),
     }

@@ -7,6 +7,7 @@ paper's implementation; see DESIGN.md §3 for the substitution rationale.
 from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
 from .terms import (
     Add,
+    node_count,
     And,
     AVar,
     BoolConst,
@@ -54,7 +55,7 @@ from .terms import (
     var,
 )
 from .simplify import drop_redundant_conjuncts, drop_redundant_disjuncts, simplify, simplify_all
-from .solver import Solver, SolverUnknown, default_solver
+from .solver import Solver, SolverStats, SolverUnknown, default_solver
 from .qe import eliminate_exists, eliminate_forall
 
 __all__ = [
@@ -62,8 +63,8 @@ __all__ = [
     "Mul", "Not", "ONE", "Or", "TRUE", "Term", "Var", "ZERO",
     "add", "and_", "boolc", "eq", "evaluate", "free_vars", "fresh_var",
     "ge", "gt", "iff", "implies", "intc", "ite", "le", "lt", "mul", "ne",
-    "neg", "not_", "or_", "rename", "sub", "substitute", "var",
-    "Solver", "SolverUnknown", "default_solver",
+    "neg", "node_count", "not_", "or_", "rename", "sub", "substitute", "var",
+    "Solver", "SolverStats", "SolverUnknown", "default_solver",
     "eliminate_exists", "eliminate_forall",
     "AVar", "Select", "Store", "avar", "select", "store",
     "UnsupportedArrayFormula", "ackermannize", "contains_arrays",

@@ -18,6 +18,8 @@ Soundness notes:
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, fields
 from typing import Iterator, Mapping
 
 from .atoms import LinearConstraint, atom_constraints, linearize
@@ -57,6 +59,45 @@ from .terms import (
 
 class SolverUnknown(Exception):
     """The solver could not decide the query within its budget."""
+
+
+@dataclass
+class SolverStats:
+    """Instrumentation counters for one :class:`Solver` instance.
+
+    ``sat_queries`` counts public satisfiability-level questions
+    (``is_sat`` and everything funnelled through it: validity,
+    implication, equivalence).  A question is answered either by the
+    normalized-formula cache (``cache_hits``), by a remembered model
+    (``model_pool_hits``), by a cached same-epoch UNKNOWN
+    (``unknown_cache_hits``), or by a full run of the decision procedure
+    (``decisions``).  ``time_seconds`` is wall-clock spent inside the
+    decision procedure only — the cache layers are excluded, so the
+    saved work is visible as the gap to the end-to-end time.
+    """
+
+    sat_queries: int = 0
+    cache_hits: int = 0
+    model_pool_hits: int = 0
+    unknown_cache_hits: int = 0
+    decisions: int = 0
+    unknowns: int = 0
+    time_seconds: float = 0.0
+    nodes_searched: int = 0
+    max_query_nodes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of sat-level questions answered without a decision."""
+        if not self.sat_queries:
+            return 0.0
+        saved = self.cache_hits + self.model_pool_hits + self.unknown_cache_hits
+        return saved / self.sat_queries
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_rate"] = round(self.hit_rate, 4)
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -198,9 +239,23 @@ class Solver:
     """A caching solver facade.
 
     All public methods accept arbitrary formulas (``Ite`` allowed) and
-    answer over the integers.  Results are memoized per formula, and the
-    number of (uncached) decision calls is tracked in :attr:`num_queries`
-    for the evaluation harness.
+    answer over the integers.  Verdicts are memoized under the
+    *normalized* formula — the NNF of the ite-lifted (and, for array
+    formulas, Ackermannized) input — so syntactically different phrasings
+    of the same query share one cache entry.  The number of (uncached)
+    decision calls is tracked in :attr:`num_queries` / :attr:`stats` for
+    the evaluation harness.
+
+    Deadline epochs: UNKNOWN verdicts caused by an exhausted budget are
+    remembered only for the current *deadline epoch* — the epoch advances
+    whenever :attr:`deadline` is assigned a new value, so a query that
+    timed out under an expired deadline is retried under a fresh budget
+    instead of leaking a stale UNKNOWN into the next run.  Definite
+    SAT/UNSAT verdicts are deadline-independent and cached across epochs.
+
+    ``enable_cache=False`` turns every memoization layer off (the
+    differential test suite uses this to prove the cache is semantically
+    invisible).
     """
 
     def __init__(
@@ -209,17 +264,36 @@ class Solver:
         branch_budget: int = 400,
         cache_size: int = 200_000,
         node_budget: int = 200_000,
+        enable_cache: bool = True,
     ) -> None:
         self._branch_budget = branch_budget
         self._cache_size = cache_size
         self._node_budget = node_budget
+        self._enable_cache = enable_cache
         self._nodes_this_query = 0
         self._sat_cache: dict[Term, bool] = {}
+        self._normal_cache: dict[Term, Term] = {}
+        self._unknown_cache: dict[Term, int] = {}
         self._model_pool: list[dict[str, int]] = []
         self.num_queries = 0
-        #: optional absolute wall-clock deadline (time.perf_counter());
-        #: long-running queries abort with SolverUnknown past it
-        self.deadline: float | None = None
+        self.stats = SolverStats()
+        self._deadline: float | None = None
+        self._deadline_epoch = 0
+
+    @property
+    def deadline(self) -> float | None:
+        """Optional absolute wall-clock deadline (time.perf_counter());
+        long-running queries abort with SolverUnknown past it.  Assigning
+        a new value starts a new deadline epoch, invalidating cached
+        UNKNOWNs from the previous budget."""
+        return self._deadline
+
+    @deadline.setter
+    def deadline(self, value: float | None) -> None:
+        if value != self._deadline:
+            self._deadline_epoch += 1
+            self._unknown_cache.clear()
+        self._deadline = value
 
     def _remember_model(self, model: dict[str, int]) -> None:
         """Keep recent models for cheap SAT witnessing of later queries."""
@@ -242,19 +316,55 @@ class Solver:
                 return False
         return False
 
+    # -- normalization ------------------------------------------------------
+
+    def _normalize(self, formula: Term) -> tuple[Term, Term]:
+        """``(expanded, nnf)``: the Ackermannized formula and its cache key.
+
+        The key is the NNF of the ite-lifted expansion.  Memoized per raw
+        formula, so the structural work is paid once per distinct input;
+        semantically identical phrasings (double negations, implication
+        vs. disjunction spellings, ...) collapse onto one normalized
+        entry.
+        """
+        cached = self._normal_cache.get(formula)
+        if cached is not None:
+            return cached
+        from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
+
+        expanded = formula
+        if contains_arrays(expanded):
+            try:
+                expanded = ackermannize(expanded)
+            except UnsupportedArrayFormula as exc:
+                raise SolverUnknown(str(exc)) from exc
+        result = (expanded, to_nnf(lift_ite(expanded)))
+        if len(self._normal_cache) < self._cache_size:
+            self._normal_cache[formula] = result
+        return result
+
     # -- public API ---------------------------------------------------------
 
     def is_sat(self, formula: Term) -> bool:
         """Is *formula* satisfiable over the integers?"""
-        hit = self._sat_cache.get(formula)
+        self.stats.sat_queries += 1
+        expanded, nnf = self._normalize(formula)
+        if not self._enable_cache:
+            return self._decide(nnf, expanded) is not None
+        hit = self._sat_cache.get(nnf)
         if hit is not None:
+            self.stats.cache_hits += 1
             return hit
+        if self._unknown_cache.get(nnf) == self._deadline_epoch:
+            self.stats.unknown_cache_hits += 1
+            raise SolverUnknown("cached unknown (same deadline epoch)")
         if self._model_pool_hit(formula):
+            self.stats.model_pool_hits += 1
             result = True
         else:
-            result = self.model(formula) is not None
+            result = self._decide(nnf, expanded) is not None
         if len(self._sat_cache) < self._cache_size:
-            self._sat_cache[formula] = result
+            self._sat_cache[nnf] = result
         return result
 
     def is_valid(self, formula: Term) -> bool:
@@ -279,29 +389,49 @@ class Solver:
 
     def model(self, formula: Term) -> dict[str, int] | None:
         """An integer model of *formula*, or ``None`` if unsatisfiable."""
-        self.num_queries += 1
-        from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
+        expanded, nnf = self._normalize(formula)
+        if self._enable_cache and self._sat_cache.get(nnf) is False:
+            self.stats.cache_hits += 1
+            return None
+        return self._decide(nnf, expanded)
 
-        if contains_arrays(formula):
-            try:
-                formula = ackermannize(formula)
-            except UnsupportedArrayFormula as exc:
-                raise SolverUnknown(str(exc)) from exc
-        nnf = to_nnf(lift_ite(formula))
+    # -- decision procedure --------------------------------------------------
+
+    def _decide(self, nnf: Term, expanded: Term) -> dict[str, int] | None:
+        """One full run of the DPLL search on a normalized formula."""
+        self.num_queries += 1
+        self.stats.decisions += 1
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            self.stats.unknowns += 1
+            if self._enable_cache and len(self._unknown_cache) < self._cache_size:
+                self._unknown_cache[nnf] = self._deadline_epoch
+            raise SolverUnknown("solver deadline already expired")
         self._nodes_this_query = 0
+        started = time.perf_counter()
         try:
             model = self._search([nnf], ())
-        except BranchBudgetExceeded as exc:
-            raise SolverUnknown(f"budget exceeded for {formula!r}") from exc
+        except (BranchBudgetExceeded, SolverUnknown) as exc:
+            self.stats.unknowns += 1
+            if self._enable_cache and len(self._unknown_cache) < self._cache_size:
+                self._unknown_cache[nnf] = self._deadline_epoch
+            if isinstance(exc, SolverUnknown):
+                raise
+            raise SolverUnknown(f"budget exceeded for {expanded!r}") from exc
+        finally:
+            self.stats.time_seconds += time.perf_counter() - started
+            self.stats.nodes_searched += self._nodes_this_query
+            if self._nodes_this_query > self.stats.max_query_nodes:
+                self.stats.max_query_nodes = self._nodes_this_query
         if model is None:
             return None
         # Unconstrained variables (dropped by trivially-true constraints)
         # still need a value for the model to be total over the formula.
         from .terms import free_vars
 
-        for name in free_vars(formula):
+        for name in free_vars(expanded):
             model.setdefault(name, 0)
-        self._remember_model(model)
+        if self._enable_cache:
+            self._remember_model(model)
         return model
 
     # -- search -------------------------------------------------------------
@@ -312,10 +442,8 @@ class Solver:
         self._nodes_this_query += 1
         if self._nodes_this_query > self._node_budget:
             raise SolverUnknown("per-query node budget exceeded")
-        if self.deadline is not None and self._nodes_this_query % 512 == 0:
-            import time
-
-            if time.perf_counter() > self.deadline:
+        if self._deadline is not None and self._nodes_this_query % 512 == 0:
+            if time.perf_counter() > self._deadline:
                 raise SolverUnknown("solver deadline exceeded")
         # Process conjuncts and literals first, delaying disjunctive splits.
         pending = list(pending)

@@ -26,6 +26,11 @@ class Term:
 
     Subclasses are frozen dataclasses; equality and hashing are
     structural.  ``Term`` instances must never be mutated.
+
+    Composite nodes precompute their structural hash at construction
+    time (``_hash``): terms are dictionary keys in every cache of the
+    solver stack, and the dataclass-generated hash would re-walk the
+    whole subtree on every lookup.
     """
 
     __slots__ = ()
@@ -41,6 +46,14 @@ class Term:
 
     def implies(self, other: "Term") -> "Term":
         return implies(self, other)
+
+
+def _cached_hash(self) -> int:
+    return self._hash
+
+
+def _set_hash(node: Term, *parts) -> None:
+    object.__setattr__(node, "_hash", hash(parts))
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +91,12 @@ class Add(Term):
     """N-ary integer addition."""
 
     args: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 3, self.args)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return "(" + " + ".join(map(repr, self.args)) + ")"
@@ -89,6 +108,12 @@ class Mul(Term):
 
     coeff: int
     arg: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 5, self.coeff, self.arg)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"{self.coeff}*{self.arg!r}"
@@ -101,6 +126,12 @@ class Ite(Term):
     cond: Term
     then: Term
     else_: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 7, self.cond, self.then, self.else_)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"ite({self.cond!r}, {self.then!r}, {self.else_!r})"
@@ -122,6 +153,12 @@ class Select(Term):
 
     array: Term
     index: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 11, self.array, self.index)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"{self.array!r}[{self.index!r}]"
@@ -134,6 +171,12 @@ class Store(Term):
     array: Term
     index: Term
     value: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 13, self.array, self.index, self.value)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"{self.array!r}[{self.index!r} := {self.value!r}]"
@@ -145,6 +188,12 @@ class Le(Term):
 
     lhs: Term
     rhs: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 17, self.lhs, self.rhs)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} <= {self.rhs!r})"
@@ -156,6 +205,12 @@ class Eq(Term):
 
     lhs: Term
     rhs: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 19, self.lhs, self.rhs)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} == {self.rhs!r})"
@@ -164,6 +219,12 @@ class Eq(Term):
 @dataclass(frozen=True, slots=True)
 class Not(Term):
     arg: Term
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 23, self.arg)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return f"!{self.arg!r}"
@@ -172,6 +233,12 @@ class Not(Term):
 @dataclass(frozen=True, slots=True)
 class And(Term):
     args: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 29, self.args)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return "(" + " && ".join(map(repr, self.args)) + ")"
@@ -180,6 +247,12 @@ class And(Term):
 @dataclass(frozen=True, slots=True)
 class Or(Term):
     args: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _set_hash(self, 31, self.args)
+
+    __hash__ = _cached_hash
 
     def __repr__(self) -> str:
         return "(" + " || ".join(map(repr, self.args)) + ")"
@@ -433,6 +506,35 @@ def _free_vars_uncached(term: Term) -> frozenset[str]:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown term node: {t!r}")
     return frozenset(out)
+
+
+_node_count_cache: dict[Term, int] = {}
+
+
+def node_count(term: Term) -> int:
+    """The number of nodes in *term*'s tree (memoized; query-size metric)."""
+    cached = _node_count_cache.get(term)
+    if cached is not None:
+        return cached
+    if isinstance(term, (Var, AVar, IntConst, BoolConst)):
+        return 1
+    if isinstance(term, (Add, And, Or)):
+        result = 1 + sum(node_count(a) for a in term.args)
+    elif isinstance(term, (Mul, Not)):
+        result = 1 + node_count(term.arg)
+    elif isinstance(term, (Le, Eq)):
+        result = 1 + node_count(term.lhs) + node_count(term.rhs)
+    elif isinstance(term, Ite):
+        result = 1 + node_count(term.cond) + node_count(term.then) + node_count(term.else_)
+    elif isinstance(term, Select):
+        result = 1 + node_count(term.array) + node_count(term.index)
+    elif isinstance(term, Store):
+        result = 1 + node_count(term.array) + node_count(term.index) + node_count(term.value)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown term node: {term!r}")
+    if len(_node_count_cache) < 500_000:
+        _node_count_cache[term] = result
+    return result
 
 
 def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:

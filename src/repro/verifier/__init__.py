@@ -23,7 +23,7 @@ from .portfolio import (
     verify_portfolio,
 )
 from .refinement import VerifierConfig, verify
-from .stats import RoundStats, Verdict, VerificationResult
+from .stats import QueryStats, RoundStats, Verdict, VerificationResult
 
 __all__ = [
     "certify",
@@ -49,6 +49,7 @@ __all__ = [
     "verify_portfolio",
     "VerifierConfig",
     "verify",
+    "QueryStats",
     "RoundStats",
     "Verdict",
     "VerificationResult",

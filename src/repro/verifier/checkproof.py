@@ -99,6 +99,7 @@ class ProofChecker:
         useless_cache: UselessStateCache | None = None,
         max_states: int | None = None,
         deadline: float | None = None,
+        memoize_commutativity: bool = True,
     ) -> None:
         if search not in ("bfs", "dfs"):
             raise ValueError(f"unknown search strategy {search!r}")
@@ -118,9 +119,14 @@ class ProofChecker:
             self._persistent = PersistentSetProvider(
                 program, order, commutativity
             )
+        self._memoize = memoize_commutativity
         self._commute_entries: dict[
             tuple[int, int], tuple[list[FhState], list[FhState]]
         ] = {}
+        #: proof-sensitive commutativity questions asked of this checker
+        self.commute_queries = 0
+        #: ... of which the monotone subsumption cache answered directly
+        self.commute_subsumption_hits = 0
 
     # -- commutativity under the current assertion ---------------------------
     #
@@ -135,22 +141,60 @@ class ProofChecker:
     ) -> bool:
         if self._conditional is None:
             return self.commutativity.commute(a, b)
+        self.commute_queries += 1
         pair = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
-        entries = self._commute_entries.get(pair)
+        entries = self._commute_entries.get(pair) if self._memoize else None
         if entries is not None:
             positives, negatives = entries
             for known in positives:
                 if known <= phi_state:
+                    self.commute_subsumption_hits += 1
                     return True
             for known in negatives:
                 if known >= phi_state:
+                    self.commute_subsumption_hits += 1
                     return False
         result = self._conditional.commute_under(fh.assertion(phi_state), a, b)
+        if not self._memoize:
+            return result
         if entries is None:
             entries = ([], [])
             self._commute_entries[pair] = entries
         entries[0 if result else 1].append(phi_state)
         return result
+
+    def note_vocabulary_grown(self) -> None:
+        """Apply the monotone invalidation rule after refinement.
+
+        Growing the Floyd/Hoare vocabulary never falsifies an entry:
+        positive verdicts recorded under predicate set Φ keep holding for
+        any Φ' ⊇ Φ and negative verdicts for any Φ'' ⊆ Φ (monotonicity of
+        proof-sensitive commutativity, §7.2).  What growth does change is
+        which entries can still *fire* — so each subsumption list is
+        compacted to its frontier: positives to their ⊆-minimal sets,
+        negatives to their ⊇-maximal sets.  Every dropped entry was
+        dominated by a kept one, so no answer changes; the lists the hot
+        path scans linearly just stop growing round over round.
+        """
+        if self._conditional is not None:
+            self._conditional.note_vocabulary_grown()
+        for positives, negatives in self._commute_entries.values():
+            positives[:] = [
+                s
+                for i, s in enumerate(positives)
+                if not any(
+                    other < s or (other == s and j < i)
+                    for j, other in enumerate(positives)
+                )
+            ]
+            negatives[:] = [
+                s
+                for i, s in enumerate(negatives)
+                if not any(
+                    other > s or (other == s and j < i)
+                    for j, other in enumerate(negatives)
+                )
+            ]
 
     # -- successor generation (the reduction, on the fly) ----------------------
 

@@ -92,6 +92,7 @@ class PortfolioResult:
             time_seconds=best.time_seconds,
             peak_memory_bytes=best.peak_memory_bytes,
             counterexample=best.counterexample,
+            query_stats=best.query_stats,
             order_name=f"portfolio[{best.order_name}]",
             mode=best.mode,
         )

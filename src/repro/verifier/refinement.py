@@ -22,7 +22,7 @@ from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
 from .checkproof import CheckDeadlineExceeded, ProofChecker, UselessStateCache
 from .hoare import FloydHoareAutomaton
 from .interpolate import annotate_trace, extract_predicates, refutes, trace_feasible
-from .stats import RoundStats, Verdict, VerificationResult
+from .stats import QueryStats, RoundStats, Verdict, VerificationResult
 
 
 @dataclass
@@ -38,6 +38,10 @@ class VerifierConfig:
     time_budget: float | None = None  # seconds
     track_memory: bool = False
     simplify_proof: bool = False  # semantically clean the reported predicates
+    #: disable the proof checker's cross-round commutativity subsumption
+    #: cache (the differential test suite turns this off together with the
+    #: solver/relation caches to prove memoization is semantically inert)
+    memoize_commutativity: bool = True
 
 
 def verify(
@@ -62,9 +66,12 @@ def verify(
         commutativity = ConditionalCommutativity(solver)
 
     started = time.perf_counter()
-    if config.time_budget is not None:
-        # long individual solver queries must also respect the budget
-        solver.deadline = started + config.time_budget
+    # long individual solver queries must also respect the budget; always
+    # assign (even None) so a reused solver starts a fresh deadline epoch
+    # and stale budget-limited UNKNOWNs from a previous run cannot leak
+    solver.deadline = (
+        started + config.time_budget if config.time_budget is not None else None
+    )
     tracking = config.track_memory
     if tracking:
         tracemalloc.start()
@@ -74,6 +81,10 @@ def verify(
 
     def finish(result: VerificationResult) -> VerificationResult:
         result.time_seconds = elapsed()
+        # the vocabulary size is meaningful on every exit path, including
+        # TIMEOUT/UNKNOWN (how far refinement got before giving up)
+        result.num_predicates = len(fh.predicates)
+        result.query_stats = QueryStats.collect(solver, commutativity, checker)
         if tracking:
             _, peak = tracemalloc.get_traced_memory()
             result.peak_memory_bytes = peak
@@ -98,6 +109,7 @@ def verify(
             if config.time_budget is not None
             else None
         ),
+        memoize_commutativity=config.memoize_commutativity,
     )
 
     result = VerificationResult(
@@ -120,23 +132,29 @@ def verify(
         except (MemoryError, SolverUnknown):
             result.verdict = Verdict.UNKNOWN
             return finish(result)
+        check_done = time.perf_counter()
         result.rounds += 1
         result.states_explored += outcome.states_explored
-        result.round_stats.append(
-            RoundStats(
-                states_explored=outcome.states_explored,
-                time_seconds=time.perf_counter() - round_started,
-                counterexample_length=(
-                    len(outcome.counterexample)
-                    if outcome.counterexample is not None
-                    else None
-                ),
-            )
+        round_stats = RoundStats(
+            states_explored=outcome.states_explored,
+            check_seconds=check_done - round_started,
+            counterexample_length=(
+                len(outcome.counterexample)
+                if outcome.counterexample is not None
+                else None
+            ),
         )
+        result.round_stats.append(round_stats)
+
+        def close_round() -> None:
+            now = time.perf_counter()
+            round_stats.time_seconds = now - round_started
+            round_stats.refine_seconds = now - check_done
+
         if outcome.covered:
+            close_round()
             result.verdict = Verdict.CORRECT
             result.proof_size = outcome.assertions_seen
-            result.num_predicates = len(fh.predicates)
             result.predicates = fh.predicates
             if config.simplify_proof:
                 from ..logic.simplify import simplify_all
@@ -155,13 +173,14 @@ def verify(
                 post=TRUE if is_violation else program.post,
             )
         except SolverUnknown:
+            close_round()
             result.verdict = Verdict.UNKNOWN
             result.counterexample = trace
             return finish(result)
         if feasible:
+            close_round()
             result.verdict = Verdict.INCORRECT
             result.counterexample = trace
-            result.num_predicates = len(fh.predicates)
             return finish(result)
 
         annotation = annotate_trace(trace, obligation)
@@ -169,21 +188,27 @@ def verify(
             if not refutes(solver, program.pre, annotation):
                 # wp annotation failed to refute (havoc projection too
                 # coarse): no sound progress possible
+                close_round()
                 result.verdict = Verdict.UNKNOWN
                 result.counterexample = trace
                 return finish(result)
         except SolverUnknown:
+            close_round()
             result.verdict = Verdict.UNKNOWN
             return finish(result)
         progress = False
         for predicate in extract_predicates(annotation):
             progress |= fh.add_predicate(predicate)
+        close_round()
         if not progress:
             # the vocabulary already contains all predicates, yet the
             # proof check still reported this trace: abstraction too weak
             result.verdict = Verdict.UNKNOWN
             result.counterexample = trace
             return finish(result)
+        # monotone invalidation: the vocabulary grew, compact the
+        # predicate-set-keyed commutativity caches to their frontier
+        checker.note_vocabulary_grown()
 
     result.verdict = Verdict.TIMEOUT
     return finish(result)

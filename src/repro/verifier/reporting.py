@@ -24,6 +24,11 @@ _CSV_FIELDS = (
     "states_explored",
     "time_seconds",
     "peak_memory_bytes",
+    "solver_queries",
+    "solver_decisions",
+    "solver_hit_rate",
+    "comm_queries",
+    "comm_hit_rate",
 )
 
 
@@ -33,6 +38,7 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
     writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS)
     writer.writeheader()
     for r in results:
+        qs = r.query_stats
         writer.writerow(
             {
                 "program": r.program_name,
@@ -45,6 +51,13 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "states_explored": r.states_explored,
                 "time_seconds": f"{r.time_seconds:.4f}",
                 "peak_memory_bytes": r.peak_memory_bytes,
+                "solver_queries": qs.solver_sat_queries if qs else "",
+                "solver_decisions": qs.solver_decisions if qs else "",
+                "solver_hit_rate": f"{qs.solver_hit_rate:.4f}" if qs else "",
+                "comm_queries": qs.comm_queries if qs else "",
+                "comm_hit_rate": (
+                    f"{qs.commutativity_hit_rate:.4f}" if qs else ""
+                ),
             }
         )
     return buffer.getvalue()
@@ -75,6 +88,9 @@ def results_to_json(results: Iterable[VerificationResult]) -> str:
                     else None
                 ),
                 "predicates": [repr(p) for p in r.predicates],
+                "query_stats": (
+                    r.query_stats.as_dict() if r.query_stats is not None else None
+                ),
             }
         )
     return json.dumps(payload, indent=2)

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Sequence
 
 from ..lang.statements import Statement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.commutativity import ConditionalCommutativity, SemanticCommutativity
+    from ..logic import Solver
+    from .checkproof import ProofChecker
 
 
 class Verdict(enum.Enum):
@@ -24,11 +29,135 @@ class Verdict(enum.Enum):
 
 @dataclass
 class RoundStats:
-    """Per-refinement-round measurements."""
+    """Per-refinement-round measurements.
+
+    ``check_seconds`` is the proof-check phase (Algorithm 2),
+    ``refine_seconds`` the counterexample analysis + interpolation phase;
+    together they partition ``time_seconds`` up to loop overhead.
+    """
 
     states_explored: int = 0
     time_seconds: float = 0.0
+    check_seconds: float = 0.0
+    refine_seconds: float = 0.0
     counterexample_length: int | None = None
+
+
+@dataclass
+class QueryStats:
+    """Cache/query instrumentation aggregated over one verification run.
+
+    Collected in ``verify()`` from the solver, the commutativity
+    relation, and the proof checker; attached to every
+    :class:`VerificationResult` (also on TIMEOUT/UNKNOWN paths) and
+    surfaced by the CLI (``--show-cache-stats``), the CSV/JSON exports,
+    and the benchmark harness.
+    """
+
+    # solver-level (repro.logic.Solver)
+    solver_sat_queries: int = 0
+    solver_cache_hits: int = 0
+    solver_model_pool_hits: int = 0
+    solver_unknown_cache_hits: int = 0
+    solver_decisions: int = 0
+    solver_unknowns: int = 0
+    solver_time_seconds: float = 0.0
+    solver_nodes_searched: int = 0
+    # commutativity-relation level (repro.core.commutativity)
+    comm_queries: int = 0
+    comm_syntactic_hits: int = 0
+    comm_cache_hits: int = 0
+    comm_solver_checks: int = 0
+    comm_unknown_fallbacks: int = 0
+    # proof-checker level (monotone subsumption cache, §7.2)
+    comm_subsumption_queries: int = 0
+    comm_subsumption_hits: int = 0
+
+    @property
+    def solver_hit_rate(self) -> float:
+        """Fraction of sat-level queries answered without a decision run."""
+        if not self.solver_sat_queries:
+            return 0.0
+        saved = (
+            self.solver_cache_hits
+            + self.solver_model_pool_hits
+            + self.solver_unknown_cache_hits
+        )
+        return saved / self.solver_sat_queries
+
+    @property
+    def commutativity_hit_rate(self) -> float:
+        """Fraction of memoizable commutativity questions answered cached."""
+        asked = (
+            self.comm_subsumption_hits + self.comm_cache_hits + self.comm_solver_checks
+        )
+        if not asked:
+            return 0.0
+        return (self.comm_subsumption_hits + self.comm_cache_hits) / asked
+
+    @classmethod
+    def collect(
+        cls,
+        solver: "Solver | None" = None,
+        commutativity=None,
+        checker: "ProofChecker | None" = None,
+    ) -> "QueryStats":
+        """Snapshot counters from the run's collaborators."""
+        out = cls()
+        if solver is not None and hasattr(solver, "stats"):
+            s = solver.stats
+            out.solver_sat_queries = s.sat_queries
+            out.solver_cache_hits = s.cache_hits
+            out.solver_model_pool_hits = s.model_pool_hits
+            out.solver_unknown_cache_hits = s.unknown_cache_hits
+            out.solver_decisions = s.decisions
+            out.solver_unknowns = s.unknowns
+            out.solver_time_seconds = s.time_seconds
+            out.solver_nodes_searched = s.nodes_searched
+        comm_stats = getattr(commutativity, "stats", None)
+        if comm_stats is not None:
+            out.comm_queries = comm_stats.queries
+            out.comm_syntactic_hits = comm_stats.syntactic_hits
+            out.comm_cache_hits = comm_stats.cache_hits
+            out.comm_solver_checks = comm_stats.solver_checks
+            out.comm_unknown_fallbacks = comm_stats.unknown_fallbacks
+        if checker is not None:
+            out.comm_subsumption_queries = checker.commute_queries
+            out.comm_subsumption_hits = checker.commute_subsumption_hits
+        return out
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["solver_hit_rate"] = round(self.solver_hit_rate, 4)
+        out["commutativity_hit_rate"] = round(self.commutativity_hit_rate, 4)
+        return out
+
+    def summary(self) -> str:
+        """A compact multi-line report (CLI ``--show-cache-stats``)."""
+        lines = [
+            "solver:        "
+            f"{self.solver_sat_queries} sat queries, "
+            f"{self.solver_decisions} decisions, "
+            f"{self.solver_unknowns} unknowns, "
+            f"hit rate {self.solver_hit_rate:.1%} "
+            f"(cache {self.solver_cache_hits}, "
+            f"model pool {self.solver_model_pool_hits}, "
+            f"unknown cache {self.solver_unknown_cache_hits})",
+            "               "
+            f"{self.solver_nodes_searched} search nodes, "
+            f"{self.solver_time_seconds:.3f}s in decisions",
+            "commutativity: "
+            f"{self.comm_queries} queries, "
+            f"{self.comm_syntactic_hits} syntactic, "
+            f"{self.comm_cache_hits} memoized, "
+            f"{self.comm_solver_checks} solver checks "
+            f"({self.comm_unknown_fallbacks} unknown fallbacks)",
+            "proof checker: "
+            f"{self.comm_subsumption_queries} proof-sensitive queries, "
+            f"{self.comm_subsumption_hits} subsumption hits, "
+            f"combined hit rate {self.commutativity_hit_rate:.1%}",
+        ]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -52,6 +181,7 @@ class VerificationResult:
     counterexample: tuple[Statement, ...] | None = None
     predicates: tuple = ()
     round_stats: list[RoundStats] = field(default_factory=list)
+    query_stats: QueryStats | None = None
     order_name: str = ""
     mode: str = "combined"
 

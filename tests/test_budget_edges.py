@@ -1,0 +1,121 @@
+"""Edge cases of the resource budgets.
+
+Zero budgets must produce a clean TIMEOUT (never an exception), partial
+progress must still be reported on TIMEOUT/UNKNOWN, and a budget-limited
+UNKNOWN cached under one deadline epoch must never leak into a later run
+with a fresh budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Verdict, VerifierConfig, parse, verify
+from repro.logic import Solver, SolverUnknown, intc, le, var
+
+# the quickstart two-increments program: correct, and not provable with
+# an empty Floyd/Hoare vocabulary, so it needs at least two rounds
+SOURCE = """
+var x: int = 0;
+
+thread A { x := x + 1; }
+thread B { x := x + 1; }
+
+post: x == 2;
+"""
+
+
+def _program():
+    return parse(SOURCE, name="two-increments")
+
+
+# ---------------------------------------------------------------------------
+# zero budgets
+# ---------------------------------------------------------------------------
+
+def test_zero_time_budget_times_out_cleanly():
+    result = verify(_program(), config=VerifierConfig(time_budget=0))
+    assert result.verdict == Verdict.TIMEOUT
+    assert result.rounds == 0
+    assert result.num_predicates == 0
+    assert result.query_stats is not None
+
+
+def test_zero_round_budget_times_out_cleanly():
+    result = verify(_program(), config=VerifierConfig(max_rounds=0))
+    assert result.verdict == Verdict.TIMEOUT
+    assert result.rounds == 0
+    assert result.num_predicates == 0
+    assert result.query_stats is not None
+
+
+# ---------------------------------------------------------------------------
+# partial progress is reported when a budget runs out
+# ---------------------------------------------------------------------------
+
+def test_num_predicates_reported_on_timeout():
+    """Regression: ``num_predicates`` used to be filled in only on
+    CORRECT/INCORRECT; a run cut off by the round budget reported 0 even
+    though refinement had already grown a vocabulary."""
+    result = verify(_program(), config=VerifierConfig(max_rounds=1))
+    assert result.verdict == Verdict.TIMEOUT
+    assert result.rounds == 1
+    assert result.num_predicates > 0
+    # sanity: without the cap the same program verifies
+    full = verify(_program())
+    assert full.verdict == Verdict.CORRECT
+    assert full.num_predicates >= result.num_predicates
+
+
+# ---------------------------------------------------------------------------
+# deadline epochs: stale UNKNOWNs must not outlive their budget
+# ---------------------------------------------------------------------------
+
+def test_expired_deadline_raises_then_fresh_epoch_recovers():
+    solver = Solver()
+    formula = le(var("x"), intc(0))
+
+    solver.deadline = time.perf_counter() - 1.0
+    with pytest.raises(SolverUnknown):
+        solver.is_sat(formula)
+    # same epoch: the memoized UNKNOWN answers without another attempt
+    with pytest.raises(SolverUnknown):
+        solver.is_sat(formula)
+    assert solver.stats.unknown_cache_hits == 1
+
+    # assigning a new deadline starts a new epoch; the cached UNKNOWN is
+    # dropped and the query is genuinely re-decided
+    solver.deadline = None
+    assert solver.is_sat(formula) is True
+    assert solver.stats.unknown_cache_hits == 1
+
+
+def test_stale_unknown_does_not_leak_into_fresh_verify_run():
+    """A solver poisoned by an expired budget must verify normally when
+    reused by a later run with a fresh (or absent) budget."""
+    solver = Solver()
+    solver.deadline = time.perf_counter() - 1.0
+    with pytest.raises(SolverUnknown):
+        solver.is_sat(le(var("x"), intc(0)))
+    assert solver._unknown_cache  # the stale UNKNOWN is in the cache
+
+    result = verify(_program(), config=VerifierConfig(), solver=solver)
+    assert result.verdict == Verdict.CORRECT
+    # verify() always assigns a deadline -> new epoch -> no stale hits
+    assert result.query_stats is not None
+    assert result.query_stats.solver_unknown_cache_hits == 0
+
+
+def test_reused_solver_across_budgeted_runs():
+    """Back-to-back verify() calls sharing one solver each get their own
+    deadline epoch, so the second run is unaffected by the first's
+    exhausted budget."""
+    solver = Solver()
+    first = verify(
+        _program(), config=VerifierConfig(time_budget=0), solver=solver
+    )
+    assert first.verdict == Verdict.TIMEOUT
+    second = verify(_program(), config=VerifierConfig(), solver=solver)
+    assert second.verdict == Verdict.CORRECT

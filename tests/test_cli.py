@@ -62,6 +62,27 @@ class TestVerify:
     def test_timeout_gives_nonzero(self, program_file):
         assert main(["verify", program_file, "--timeout", "0"]) == 1
 
+    def test_show_cache_stats(self, program_file, capsys):
+        assert main(["verify", program_file, "--show-cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache stats:" in out
+        assert "sat queries" in out
+        assert "hit rate" in out
+        assert "commutativity:" in out
+
+    def test_show_cache_stats_on_timeout(self, program_file, capsys):
+        assert (
+            main(["verify", program_file, "--timeout", "0",
+                  "--show-cache-stats"]) == 1
+        )
+        assert "cache stats:" in capsys.readouterr().out
+
+    def test_portfolio_show_cache_stats(self, program_file, capsys):
+        assert main(["portfolio", program_file, "--show-cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache stats:" in out
+        assert "sat queries" in out
+
 
 class TestOtherCommands:
     def test_check(self, program_file, capsys):

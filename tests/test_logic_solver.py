@@ -127,6 +127,49 @@ class TestCaching:
         assert solver.is_sat(f)
         assert solver.num_queries == q0 + 1
 
+    def test_normalized_phrasings_share_one_entry(self, solver):
+        """The cache key is the NNF, so De Morgan-dual spellings of the
+        same query are answered by a single decision."""
+        spelled_not = not_(and_(le(x, intc(0)), le(y, intc(0))))
+        spelled_or = or_(not_(le(x, intc(0))), not_(le(y, intc(0))))
+        assert solver.is_sat(spelled_not)
+        decisions = solver.stats.decisions
+        assert solver.is_sat(spelled_or)
+        assert solver.stats.decisions == decisions
+        assert solver.stats.cache_hits >= 1
+
+    def test_stats_counters_are_consistent(self, solver):
+        f = and_(le(intc(0), x), le(x, intc(3)))
+        g = lt(x, x)
+        for query in (f, f, g, g, f):
+            solver.is_sat(query)
+        s = solver.stats
+        assert s.sat_queries == 5
+        answered = (
+            s.cache_hits + s.model_pool_hits + s.unknown_cache_hits + s.decisions
+        )
+        assert answered == s.sat_queries
+        assert 0.0 < s.hit_rate < 1.0
+        as_dict = s.as_dict()
+        assert as_dict["sat_queries"] == 5
+        assert as_dict["hit_rate"] == round(s.hit_rate, 4)
+
+    def test_model_short_circuits_on_cached_unsat(self, solver):
+        f = and_(le(x, intc(0)), le(intc(1), x))
+        assert not solver.is_sat(f)
+        decisions = solver.stats.decisions
+        assert solver.model(f) is None
+        assert solver.stats.decisions == decisions
+
+    def test_disabled_cache_redecides_every_query(self):
+        solver = Solver(enable_cache=False)
+        f = and_(le(intc(0), x), le(x, intc(10)))
+        assert solver.is_sat(f)
+        assert solver.is_sat(f)
+        assert solver.stats.decisions == 2
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.model_pool_hits == 0
+
 
 # ---------------------------------------------------------------------------
 # Property-based: the solver agrees with brute force over a small domain.

@@ -5,7 +5,9 @@ These tie independent components to each other:
 * wp agrees with concrete execution (Dijkstra's characterization);
 * SSA path formulas agree with the concrete interpreter's replay;
 * semantic commutativity agrees with concrete two-step execution;
-* the reduction pipeline preserves verdicts across preference orders.
+* the reduction pipeline preserves verdicts across preference orders;
+* sleep-set reduction equals the brute-force red_lex representative
+  set, with and without commutativity memoization.
 """
 
 import itertools
@@ -13,7 +15,13 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import SemanticCommutativity
+from helpers import make_program, reduction_language, straight_line_thread
+from repro.core import (
+    SemanticCommutativity,
+    ThreadUniformOrder,
+    minimal_word,
+    partition_into_classes,
+)
 from repro.lang import Statement, assign, assume, replay
 from repro.logic import (
     Solver,
@@ -125,6 +133,39 @@ def test_semantic_commutativity_matches_concrete(a, b, vx, vy):
         return _run_concrete(second, mid)
 
     assert run_two(a, b) == run_two(b, a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(_statements(0), min_size=1, max_size=3),
+    st.lists(_statements(1), min_size=1, max_size=2),
+)
+def test_sleep_reduction_is_red_lex(stmts0, stmts1):
+    """The sleep-set reduction of a random 2-thread straight-line program
+    accepts exactly the lex(<)-minimal representative of every
+    equivalence class (red_lex, Def. 4.2) — and commutativity
+    memoization does not change the language."""
+    program = make_program(
+        [straight_line_thread(0, stmts0), straight_line_thread(1, stmts1)]
+    )
+    order = ThreadUniformOrder()
+    max_length = len(stmts0) + len(stmts1)
+    full = program.product_dfa("exit").language_up_to(max_length)
+
+    languages = {}
+    for memoize in (True, False):
+        relation = SemanticCommutativity(
+            Solver(enable_cache=memoize), memoize=memoize
+        )
+        languages[memoize] = reduction_language(
+            program, order, relation, mode="sleep", max_length=max_length
+        )
+        expected = frozenset(
+            minimal_word(order, cls)
+            for cls in partition_into_classes(full, relation)
+        )
+        assert languages[memoize] == expected
+    assert languages[True] == languages[False]
 
 
 @settings(max_examples=40, deadline=None)

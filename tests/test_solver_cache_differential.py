@@ -1,0 +1,124 @@
+"""Differential test: the query caches must be semantically invisible.
+
+Every program of the corpus — the example programs shipped under
+``examples/`` plus the mutex benchmark family — is verified twice: once
+with every memoization layer enabled (the default) and once with all of
+them disabled (``Solver(enable_cache=False)``, non-memoizing
+commutativity relations, no proof-checker subsumption cache).  The runs
+must agree on the verdict, the number of refinement rounds, the proof
+size, the vocabulary size, and the states explored: caches may only
+change *when* an answer is computed, never *what* is computed.
+
+No wall-clock budgets are used (caching changes speed, which would make
+timeout-dependent outcomes legitimately diverge); determinism comes from
+the round cap and the per-query node budgets, which are identical in
+both configurations.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import VerifierConfig, verify
+from repro.benchmarks import mutex
+from repro.core.commutativity import ConditionalCommutativity
+from repro.lang import ConcurrentProgram, ParseError, parse
+from repro.logic import Solver
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _example_programs() -> list[ConcurrentProgram]:
+    """Programs embedded as source strings in the examples/ scripts.
+
+    Each example module keeps its programs in top-level string constants;
+    collect every string attribute that parses as a program.
+    """
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    programs: list[ConcurrentProgram] = []
+    try:
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            module = __import__(path.stem)
+            for attr in sorted(vars(module)):
+                value = getattr(module, attr)
+                if not isinstance(value, str) or "thread" not in value:
+                    continue
+                try:
+                    program = parse(value, name=f"{path.stem}:{attr}")
+                except ParseError:
+                    continue
+                programs.append(program)
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    return programs
+
+
+def _mutex_programs() -> list[ConcurrentProgram]:
+    return [
+        mutex.dekker(),
+        mutex.dekker(correct=False),
+        mutex.readers_writer(2),
+        mutex.readers_writer(2, correct=False),
+        mutex.double_observer(),
+        mutex.double_observer(correct=False),
+    ]
+
+
+def _corpus() -> list[ConcurrentProgram]:
+    return _example_programs() + _mutex_programs()
+
+
+def _run(program: ConcurrentProgram, *, cached: bool):
+    solver = Solver(enable_cache=cached)
+    commutativity = ConditionalCommutativity(solver, memoize=cached)
+    config = VerifierConfig(
+        max_rounds=12,
+        time_budget=None,
+        memoize_commutativity=cached,
+    )
+    return verify(program, commutativity=commutativity, config=config, solver=solver)
+
+
+_PROGRAMS = _corpus()
+
+
+def test_corpus_is_nontrivial():
+    # the examples scan plus the mutex family; guards against the
+    # example collection silently breaking
+    assert len(_PROGRAMS) >= 10
+
+
+@pytest.mark.parametrize("program", _PROGRAMS, ids=lambda p: p.name)
+def test_cached_and_uncached_runs_agree(program):
+    with_cache = _run(program, cached=True)
+    without_cache = _run(program, cached=False)
+    assert with_cache.verdict == without_cache.verdict
+    assert with_cache.rounds == without_cache.rounds
+    assert with_cache.proof_size == without_cache.proof_size
+    assert with_cache.num_predicates == without_cache.num_predicates
+    assert with_cache.states_explored == without_cache.states_explored
+    assert with_cache.counterexample == without_cache.counterexample
+
+
+def test_caches_actually_fire_on_corpus():
+    """The agreement above is vacuous if nothing is ever cached."""
+    total_hits = 0
+    for program in _PROGRAMS[:4]:
+        result = _run(program, cached=True)
+        qs = result.query_stats
+        assert qs is not None
+        total_hits += qs.solver_cache_hits + qs.solver_model_pool_hits
+    assert total_hits > 0
+
+
+def test_uncached_runs_report_zero_cache_hits():
+    result = _run(_PROGRAMS[0], cached=False)
+    qs = result.query_stats
+    assert qs is not None
+    assert qs.solver_cache_hits == 0
+    assert qs.solver_unknown_cache_hits == 0
+    assert qs.comm_cache_hits == 0
+    assert qs.comm_subsumption_hits == 0
