@@ -57,6 +57,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
     order = _make_order(args.order, program)
     solver = Solver()
+    fault_plan = _parse_fault_plan(args.inject_faults)
+    if fault_plan is not None:
+        injector = fault_plan.injector_for(order.name)
+        if injector is not None:
+            solver.fault_injector = injector
     config = VerifierConfig(
         mode=args.mode,
         proof_sensitive=not args.no_proof_sensitive,
@@ -106,14 +111,43 @@ def _print_cache_stats(result) -> None:
         print(f"  {line}")
 
 
+def _parse_fault_plan(spec: str | None):
+    if not spec:
+        return None
+    from .verifier import FaultPlan, FaultSpecError
+
+    try:
+        return FaultPlan.parse(spec)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --inject-faults spec: {exc}")
+
+
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
     config = VerifierConfig(max_rounds=args.max_rounds, time_budget=args.timeout)
-    outcome = verify_portfolio(program, config=config)
+    if args.parallel_portfolio:
+        from .verifier import RetryPolicy
+
+        outcome = verify_portfolio(
+            program,
+            config=config,
+            strategy="parallel",
+            member_timeout=args.member_timeout,
+            retry=RetryPolicy(max_attempts=1 + args.max_retries),
+            fault_plan=_parse_fault_plan(args.inject_faults),
+        )
+    else:
+        outcome = verify_portfolio(
+            program,
+            config=config,
+            fault_plan=_parse_fault_plan(args.inject_faults),
+        )
     for member in outcome.members:
         print(f"  {member.summary()}")
     aggregated = outcome.aggregate()
     print(aggregated.summary())
+    if outcome.wall_seconds is not None:
+        print(f"wall clock: {outcome.wall_seconds:.2f}s ({outcome.strategy})")
     if args.show_cache_stats:
         _print_cache_stats(aggregated)
     return 0 if aggregated.verdict.solved else 1
@@ -181,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--show-cache-stats", action="store_true",
             help="report solver/commutativity query counts and cache hit rates",
         )
+        p.add_argument(
+            "--inject-faults", metavar="SPEC", default=None,
+            help="deterministic fault-injection spec, e.g. "
+                 "'seed=7;p_unknown=0.05;seq:crash_at=0' "
+                 "(see docs/runtime.md; REPRO_FAULTS is the env equivalent)",
+        )
 
     p_verify = sub.add_parser("verify", help="verify a program")
     common(p_verify)
@@ -202,6 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
         "portfolio", help="verify with the 5-order portfolio"
     )
     common(p_portfolio)
+    p_portfolio.add_argument(
+        "--parallel-portfolio", action="store_true",
+        help="run members in isolated worker processes with crash "
+             "containment, watchdog deadlines, and first-winner "
+             "cancellation (default: sequential emulation)",
+    )
+    p_portfolio.add_argument(
+        "--member-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-member wall-clock watchdog; overrunning workers "
+             "are SIGKILLed and recorded as TIMEOUT",
+    )
+    p_portfolio.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="respawn UNKNOWN/TIMEOUT/ERROR members up to N times with "
+             "doubled solver budgets and deadlines",
+    )
     p_portfolio.set_defaults(func=_cmd_portfolio)
 
     p_reduce = sub.add_parser(

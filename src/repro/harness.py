@@ -9,7 +9,12 @@ Environment knobs:
 * ``REPRO_BUDGET``  — per-run time budget in seconds (default 45);
 * ``REPRO_ROUNDS``  — refinement round cap (default 60);
 * ``REPRO_FULL=1``  — run the larger instances (e.g. bluetooth up to 6
-  threads in Figure 1c) at the cost of a longer wall-clock.
+  threads in Figure 1c) at the cost of a longer wall-clock;
+* ``REPRO_PARALLEL=1`` — run the portfolio tool through the parallel
+  worker-process runtime (crash containment + watchdog) instead of the
+  sequential emulation;
+* ``REPRO_FAULTS``  — deterministic fault-injection spec (see
+  repro.verifier.faults), applied to every verification run.
 """
 
 from __future__ import annotations
@@ -67,6 +72,10 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("0", "")
 
 
+def parallel_portfolio() -> bool:
+    return os.environ.get("REPRO_PARALLEL", "0") not in ("0", "")
+
+
 def _config(**overrides) -> VerifierConfig:
     base = dict(
         max_rounds=round_budget(),
@@ -98,11 +107,20 @@ def run_tool(program: ConcurrentProgram, tool: str) -> VerificationResult:
             config=_config(mode="none", proof_sensitive=False),
         )
     if tool == "portfolio":
-        outcome = verify_portfolio(program, config=_config())
+        outcome = verify_portfolio(
+            program,
+            config=_config(),
+            strategy="parallel" if parallel_portfolio() else "sequential",
+            # hard watchdog slightly above the cooperative budget: kills
+            # only members whose in-process deadline checks stopped firing
+            member_timeout=(time_budget() * 1.5 if parallel_portfolio() else None),
+        )
         # cache the members under their own tool names so the
         # order-comparison experiments (Fig 8, Table 2) reuse these runs
+        # (solved runs only — an UNKNOWN/ERROR member must stay retryable)
         for member in outcome.members:
-            _cache.setdefault((program.name, member.order_name), member)
+            if member.verdict.solved:
+                _cache.setdefault((program.name, member.order_name), member)
         return outcome.aggregate()
     if tool == "portfolio-nops":
         return verify_portfolio(
@@ -144,13 +162,19 @@ def _log_progress(message: str) -> None:
 
 
 def run_cached(bench: Benchmark, tool: str) -> VerificationResult:
-    """Memoized run — shared across all benchmark files in one session."""
+    """Memoized run — shared across all benchmark files in one session.
+
+    Only solved verdicts are memoized: caching an ERROR/UNKNOWN/TIMEOUT
+    would pin the failure for the whole session and defeat any retry
+    with a bigger budget or after a transient fault.
+    """
     key = (bench.name, tool)
     hit = _cache.get(key)
     if hit is None:
         _log_progress(f"run {tool:16s} {bench.name}")
         hit = run_tool(bench.build(), tool)
-        _cache[key] = hit
+        if hit.verdict.solved:
+            _cache[key] = hit
         qs = hit.query_stats
         cache_note = (
             f" solver_hit={qs.solver_hit_rate:.0%} comm_hit={qs.commutativity_hit_rate:.0%}"
@@ -212,18 +236,38 @@ def aggregate(
 # Output
 # ---------------------------------------------------------------------------
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Crash-safe file write: temp file in the same directory, fsync,
+    then an atomic ``os.replace``.  An interrupted or killed benchmark
+    run leaves either the old content or the new — never a truncation.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def emit(name: str, lines: Iterable[str]) -> str:
     """Print a report and persist it under benchmarks/results/."""
     text = "\n".join(lines)
     print(f"\n===== {name} =====\n{text}\n", flush=True)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
     return text
 
 
 def emit_json(name: str, payload) -> None:
+    # serialize before touching the filesystem: a non-serializable
+    # payload must not clobber a previous good result file
+    text = json.dumps(payload, indent=2)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    atomic_write_text(RESULTS_DIR / f"{name}.json", text)
 
 
 def result_row(result: VerificationResult) -> dict:
@@ -237,6 +281,12 @@ def result_row(result: VerificationResult) -> dict:
         "memory_mb": round(result.peak_memory_bytes / 1e6, 2),
         "order": result.order_name,
     }
+    if result.failure_reason:
+        row["failure_reason"] = result.failure_reason
+    if result.attempts > 1:
+        row["attempts"] = result.attempts
+    if result.degraded:
+        row["degraded"] = True
     qs = result.query_stats
     if qs is not None:
         row["solver_queries"] = qs.solver_sat_queries

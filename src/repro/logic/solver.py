@@ -279,6 +279,10 @@ class Solver:
         self.stats = SolverStats()
         self._deadline: float | None = None
         self._deadline_epoch = 0
+        #: optional fault-injection hook (repro.verifier.faults); called
+        #: once per sat-level query, before any cache lookup, so injected
+        #: schedules are a pure function of the query index
+        self.fault_injector = None
 
     @property
     def deadline(self) -> float | None:
@@ -348,6 +352,8 @@ class Solver:
     def is_sat(self, formula: Term) -> bool:
         """Is *formula* satisfiable over the integers?"""
         self.stats.sat_queries += 1
+        if self.fault_injector is not None:
+            self.fault_injector.before_query()
         expanded, nnf = self._normalize(formula)
         if not self._enable_cache:
             return self._decide(nnf, expanded) is not None

@@ -16,6 +16,13 @@ from .interpolate import (
     refutes,
     trace_feasible,
 )
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpecError,
+    InjectedCrash,
+    MemberFaultPlan,
+)
 from .portfolio import (
     DEFAULT_RANDOM_SEEDS,
     PortfolioResult,
@@ -23,6 +30,11 @@ from .portfolio import (
     verify_portfolio,
 )
 from .refinement import VerifierConfig, verify
+from .runtime import (
+    DegradingCommutativity,
+    RetryPolicy,
+    run_parallel_portfolio,
+)
 from .stats import QueryStats, RoundStats, Verdict, VerificationResult
 
 __all__ = [
@@ -43,10 +55,18 @@ __all__ = [
     "path_formula",
     "refutes",
     "trace_feasible",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedCrash",
+    "MemberFaultPlan",
     "DEFAULT_RANDOM_SEEDS",
     "PortfolioResult",
     "standard_orders",
     "verify_portfolio",
+    "DegradingCommutativity",
+    "RetryPolicy",
+    "run_parallel_portfolio",
     "VerifierConfig",
     "verify",
     "QueryStats",

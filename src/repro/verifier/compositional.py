@@ -100,4 +100,6 @@ def combine_verdicts(results: Sequence[VerificationResult]) -> Verdict:
         return Verdict.CORRECT
     if any(r.verdict == Verdict.TIMEOUT for r in results):
         return Verdict.TIMEOUT
+    if any(r.verdict == Verdict.ERROR for r in results):
+        return Verdict.ERROR
     return Verdict.UNKNOWN

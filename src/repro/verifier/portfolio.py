@@ -3,16 +3,26 @@
 The paper's GemCutter data points aggregate, per benchmark, the best of
 five preference orders — ``seq``, ``lockstep``, and three seeded random
 orders — with the portfolio terminating as soon as any order's analysis
-terminates.  Running the members sequentially, we emulate the parallel
-portfolio's wall-clock time as the *minimum* member time (each member
-would have run concurrently); per-member results are kept for the
-order-comparison experiments (Figure 8, Table 2).
+terminates.  Two strategies implement this:
+
+* ``strategy="sequential"`` (default): members run one after another in
+  this process and the parallel wall-clock is *emulated* as the minimum
+  member time.  Deterministic and cheap — the benchmark figures use it
+  so the paper-reproduction numbers stay stable.  Member exceptions are
+  contained: a member that raises (OOM, recursion blowup, injected
+  crash) is recorded as ``Verdict.ERROR`` instead of killing the run.
+* ``strategy="parallel"``: the real thing — isolated worker processes,
+  hard watchdog deadlines, first-winner cancellation, retries.  See
+  :mod:`repro.verifier.runtime`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import RetryPolicy
 
 from ..core.commutativity import CommutativityRelation, ConditionalCommutativity
 from ..core.preference import (
@@ -23,6 +33,7 @@ from ..core.preference import (
 )
 from ..lang.program import ConcurrentProgram
 from ..logic import Solver
+from .faults import FaultPlan
 from .refinement import VerifierConfig, verify
 from .stats import Verdict, VerificationResult
 
@@ -45,10 +56,18 @@ def standard_orders(
 
 @dataclass
 class PortfolioResult:
-    """The aggregated result plus every member's individual result."""
+    """The aggregated result plus every member's individual result.
+
+    ``strategy`` records how the members were executed; ``wall_seconds``
+    is the measured end-to-end wall clock when the parallel runtime ran
+    (``None`` under sequential emulation, where the parallel wall clock
+    is estimated from member times instead).
+    """
 
     program_name: str
     members: list[VerificationResult] = field(default_factory=list)
+    strategy: str = "sequential"
+    wall_seconds: float | None = None
 
     @property
     def solved(self) -> bool:
@@ -67,21 +86,43 @@ class PortfolioResult:
         best = self.winner
         return best.verdict if best is not None else Verdict.UNKNOWN
 
+    def elapsed_seconds(self) -> float:
+        """Total elapsed wall clock attributable to the portfolio.
+
+        The measured wall clock when available (parallel runtime),
+        otherwise the slowest member — under parallel semantics the
+        portfolio gives up only when its last member does.
+        """
+        if self.wall_seconds is not None:
+            return self.wall_seconds
+        return max((m.time_seconds for m in self.members), default=0.0)
+
     def aggregate(self) -> VerificationResult:
         """A single result reflecting parallel portfolio execution."""
         best = self.winner
         if best is None:
-            worst = max(
-                self.members, key=lambda m: m.time_seconds, default=None
-            )
-            out = VerificationResult(
+            # no member solved: report how many members ran (zero is a
+            # configuration error worth surfacing, not an instantaneous
+            # UNKNOWN) and the total elapsed time
+            count = len(self.members)
+            if count:
+                breakdown = ", ".join(
+                    f"{m.order_name or '?'}={m.verdict.value}"
+                    for m in self.members
+                )
+                reason = f"no member solved ({count} members: {breakdown})"
+            else:
+                reason = "empty portfolio (0 members)"
+            return VerificationResult(
                 program_name=self.program_name,
                 verdict=Verdict.UNKNOWN,
                 order_name="portfolio",
+                time_seconds=self.elapsed_seconds(),
+                failure_reason=reason,
+                attempts=max((m.attempts for m in self.members), default=1),
+                respawns=sum(m.respawns for m in self.members),
+                degraded=any(m.degraded for m in self.members),
             )
-            if worst is not None:
-                out.time_seconds = worst.time_seconds
-            return out
         out = VerificationResult(
             program_name=self.program_name,
             verdict=best.verdict,
@@ -95,6 +136,9 @@ class PortfolioResult:
             query_stats=best.query_stats,
             order_name=f"portfolio[{best.order_name}]",
             mode=best.mode,
+            attempts=best.attempts,
+            respawns=sum(m.respawns for m in self.members),
+            degraded=best.degraded,
         )
         return out
 
@@ -105,18 +149,60 @@ def verify_portfolio(
     *,
     seeds: Sequence[int] = DEFAULT_RANDOM_SEEDS,
     commutativity_factory: Callable[[Solver], CommutativityRelation] | None = None,
+    strategy: str = "sequential",
+    member_timeout: float | None = None,
+    retry: "RetryPolicy | None" = None,
+    fault_plan: FaultPlan | None = None,
 ) -> PortfolioResult:
-    """Run the standard five-order portfolio on *program*."""
+    """Run the standard five-order portfolio on *program*.
+
+    ``strategy="parallel"`` delegates to
+    :func:`repro.verifier.runtime.run_parallel_portfolio` (isolated
+    workers, watchdog ``member_timeout``, ``retry`` policy, optional
+    ``fault_plan``); the default sequential emulation runs members
+    in-process with per-member crash containment.
+    """
+    if strategy == "parallel":
+        from .runtime import run_parallel_portfolio
+
+        return run_parallel_portfolio(
+            program,
+            config,
+            seeds=seeds,
+            member_timeout=member_timeout,
+            retry=retry,
+            fault_plan=fault_plan,
+        )
+    if strategy != "sequential":
+        raise ValueError(
+            f"unknown portfolio strategy {strategy!r} "
+            "(use 'sequential' or 'parallel')"
+        )
     result = PortfolioResult(program_name=program.name)
     for order in standard_orders(program, seeds):
         solver = Solver()
+        if fault_plan is not None:
+            injector = fault_plan.injector_for(order.name)
+            if injector is not None:
+                solver.fault_injector = injector
         commutativity = (
             commutativity_factory(solver)
             if commutativity_factory is not None
             else ConditionalCommutativity(solver)
         )
-        member = verify(
-            program, order, commutativity, config=config, solver=solver
-        )
+        try:
+            member = verify(
+                program, order, commutativity, config=config, solver=solver
+            )
+        except Exception as exc:  # crash containment (parity with the
+            # parallel runtime: a misbehaving member must not kill the
+            # portfolio; KeyboardInterrupt etc. still propagate)
+            member = VerificationResult(
+                program_name=program.name,
+                verdict=Verdict.ERROR,
+                order_name=order.name,
+                mode=(config.mode if config is not None else "combined"),
+                failure_reason=f"member crashed: {type(exc).__name__}: {exc}",
+            )
         result.members.append(member)
     return result

@@ -20,6 +20,7 @@ from ..core.preference import PreferenceOrder, ThreadUniformOrder
 from ..lang.program import ConcurrentProgram
 from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
 from .checkproof import CheckDeadlineExceeded, ProofChecker, UselessStateCache
+from .faults import attach_env_faults
 from .hoare import FloydHoareAutomaton
 from .interpolate import annotate_trace, extract_predicates, refutes, trace_feasible
 from .stats import QueryStats, RoundStats, Verdict, VerificationResult
@@ -64,6 +65,9 @@ def verify(
     solver = solver or Solver()
     if commutativity is None:
         commutativity = ConditionalCommutativity(solver)
+    # REPRO_FAULTS wires deterministic fault injection onto the solver
+    # (no-op when unset or when the caller attached an injector already)
+    attach_env_faults(solver, member=order.name)
 
     started = time.perf_counter()
     # long individual solver queries must also respect the budget; always
@@ -85,6 +89,9 @@ def verify(
         # TIMEOUT/UNKNOWN (how far refinement got before giving up)
         result.num_predicates = len(fh.predicates)
         result.query_stats = QueryStats.collect(solver, commutativity, checker)
+        # degradation flag from a DegradingCommutativity (runtime policy)
+        if getattr(commutativity, "degraded", False):
+            result.degraded = True
         if tracking:
             _, peak = tracemalloc.get_traced_memory()
             result.peak_memory_bytes = peak

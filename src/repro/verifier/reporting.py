@@ -29,6 +29,10 @@ _CSV_FIELDS = (
     "solver_hit_rate",
     "comm_queries",
     "comm_hit_rate",
+    "failure_reason",
+    "attempts",
+    "respawns",
+    "degraded",
 )
 
 
@@ -58,13 +62,19 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "comm_hit_rate": (
                     f"{qs.commutativity_hit_rate:.4f}" if qs else ""
                 ),
+                "failure_reason": r.failure_reason or "",
+                "attempts": r.attempts,
+                "respawns": r.respawns,
+                "degraded": int(r.degraded),
             }
         )
     return buffer.getvalue()
 
 
 def write_csv(results: Iterable[VerificationResult], path: str | Path) -> None:
-    Path(path).write_text(results_to_csv(results))
+    from ..harness import atomic_write_text
+
+    atomic_write_text(Path(path), results_to_csv(results))
 
 
 def results_to_json(results: Iterable[VerificationResult]) -> str:
@@ -91,6 +101,10 @@ def results_to_json(results: Iterable[VerificationResult]) -> str:
                 "query_stats": (
                     r.query_stats.as_dict() if r.query_stats is not None else None
                 ),
+                "failure_reason": r.failure_reason,
+                "attempts": r.attempts,
+                "respawns": r.respawns,
+                "degraded": r.degraded,
             }
         )
     return json.dumps(payload, indent=2)

@@ -1,0 +1,457 @@
+"""Crash-contained parallel portfolio runtime.
+
+The paper's GemCutter portfolio (§8) runs its five preference orders
+*concurrently* and stops as soon as any member's analysis terminates.
+This module provides that semantics for real: every member runs in an
+isolated ``multiprocessing`` worker, the parent enforces a hard
+per-member wall-clock watchdog (SIGKILL on overrun), and the first
+member to return a solved verdict cancels the rest.  A member that
+misbehaves — OOM, recursion blowup, unhandled exception, hard
+``os._exit``, killed by the watchdog — becomes a
+``Verdict.ERROR``/``TIMEOUT`` :class:`VerificationResult` carrying its
+failure reason; it can never take the harness down with it.
+
+Robustness policies on top of isolation:
+
+* **Escalating-budget retries** (:class:`RetryPolicy`): members ending in
+  UNKNOWN/TIMEOUT/ERROR are re-spawned with multiplied solver
+  branch/node budgets and deadlines, a bounded number of times, with
+  deterministic jittered backoff between respawns.
+* **Graceful degradation** (:class:`DegradingCommutativity`): a member
+  whose conditional-commutativity checks keep ending in
+  ``SolverUnknown`` falls back to syntactic commutativity for the rest
+  of its run (sound — it only declares *less* commutativity) and records
+  that it did (``VerificationResult.degraded``).
+* **Deterministic fault injection** (:mod:`repro.verifier.faults`):
+  the whole stack is testable because faults are seeded and scheduled
+  by sat-query index.
+
+The sequential emulation (`verify_portfolio(strategy="sequential")`)
+remains the default so the paper-figure benchmarks stay exactly
+reproducible; this runtime is opt-in via ``strategy="parallel"``,
+``--parallel-portfolio`` on the CLI, or ``REPRO_PARALLEL=1`` for the
+harness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from typing import Sequence
+
+from ..core.commutativity import (
+    ConditionalCommutativity,
+    SyntacticCommutativity,
+)
+from ..core.preference import PreferenceOrder
+from ..lang.program import ConcurrentProgram
+from ..logic import Solver
+from .faults import ENV_VAR, FaultInjector, FaultPlan, MemberFaultPlan, derive_seed
+from .refinement import VerifierConfig, verify
+from .stats import Verdict, VerificationResult
+
+#: mirrors of Solver.__init__'s defaults — the base the retry policy's
+#: budget escalation multiplies
+BASE_BRANCH_BUDGET = 400
+BASE_NODE_BUDGET = 200_000
+
+#: unknown-fallbacks threshold after which a member degrades to
+#: syntactic commutativity (None disables degradation)
+DEFAULT_DEGRADE_AFTER = 25
+
+
+class DegradingCommutativity(ConditionalCommutativity):
+    """Conditional commutativity with a syntactic-only fallback mode.
+
+    Once ``stats.unknown_fallbacks`` reaches *degrade_after*, every
+    further question is answered by the syntactic check alone: no more
+    solver queries, no more give-ups.  Sound by construction — the
+    syntactic relation is a subset of the conditional one — and recorded
+    in :attr:`degraded` / :attr:`degraded_after_queries` so results can
+    report it.
+    """
+
+    def __init__(
+        self,
+        solver: Solver | None = None,
+        *,
+        memoize: bool = True,
+        degrade_after: int | None = DEFAULT_DEGRADE_AFTER,
+    ) -> None:
+        super().__init__(solver, memoize=memoize)
+        self.degrade_after = degrade_after
+        self.degraded = False
+        self.degraded_after_queries: int | None = None
+        self._syntactic_fallback = SyntacticCommutativity()
+
+    def _maybe_degrade(self) -> None:
+        if (
+            not self.degraded
+            and self.degrade_after is not None
+            and self.stats.unknown_fallbacks >= self.degrade_after
+        ):
+            self.degraded = True
+            self.degraded_after_queries = self.stats.queries
+
+    def _degraded_answer(self, a, b) -> bool:
+        self.stats.queries += 1
+        if self._syntactic_fallback.commute(a, b):
+            self.stats.syntactic_hits += 1
+            return True
+        return False
+
+    def commute(self, a, b) -> bool:
+        if self.degraded:
+            return self._degraded_answer(a, b)
+        result = super().commute(a, b)
+        self._maybe_degrade()
+        return result
+
+    def commute_under(self, phi, a, b) -> bool:
+        if self.degraded:
+            return self._degraded_answer(a, b)
+        result = super().commute_under(phi, a, b)
+        self._maybe_degrade()
+        return result
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, escalating, deterministically-jittered member retries.
+
+    ``max_attempts`` counts total runs of a member (1 = never retry).
+    Each retry multiplies the solver branch/node budgets, the
+    verification time budget, and the watchdog deadline by
+    ``budget_scale`` (cumulatively), and waits
+    ``backoff_seconds * budget_scale**(attempt-1)`` plus a seeded jitter
+    before respawning, so a crashing member cannot hot-loop.
+    """
+
+    max_attempts: int = 1
+    budget_scale: float = 2.0
+    backoff_seconds: float = 0.05
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: frozenset = frozenset(
+        {Verdict.UNKNOWN, Verdict.TIMEOUT, Verdict.ERROR}
+    )
+
+    def scale(self, attempt: int) -> float:
+        """Budget multiplier for *attempt* (1-based; attempt 1 → 1.0)."""
+        return self.budget_scale ** (attempt - 1)
+
+    def backoff(self, member: str, attempt: int) -> float:
+        """Deterministic jittered pause before respawning *member*."""
+        import random
+
+        rng = random.Random(derive_seed(self.seed, f"{member}#{attempt}"))
+        base = self.backoff_seconds * self.scale(attempt)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def wants_retry(self, verdict: Verdict, attempt: int) -> bool:
+        return verdict in self.retry_on and attempt < self.max_attempts
+
+
+def _member_worker(
+    conn,
+    program: ConcurrentProgram,
+    order: PreferenceOrder,
+    config: VerifierConfig,
+    solver_kwargs: dict,
+    fault_plan: MemberFaultPlan | None,
+    degrade_after: int | None,
+) -> None:
+    """Worker-process entry point: run one portfolio member, contained.
+
+    Everything short of a hard process death is turned into a message on
+    *conn*; the parent synthesizes results for the rest.
+    """
+    # the parent resolved fault plans already; don't let the env var
+    # re-attach a second injector inside verify()
+    os.environ.pop(ENV_VAR, None)
+    try:
+        solver = Solver(**solver_kwargs)
+        if fault_plan is not None and fault_plan.active:
+            solver.fault_injector = FaultInjector(fault_plan)
+        commutativity = DegradingCommutativity(
+            solver, degrade_after=degrade_after
+        )
+        result = verify(
+            program, order, commutativity, config=config, solver=solver
+        )
+        conn.send(("result", result))
+    except BaseException as exc:  # noqa: BLE001 - crash containment
+        try:
+            conn.send(("crash", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+@dataclass
+class _Member:
+    """Parent-side lifecycle record of one portfolio member."""
+
+    order: PreferenceOrder
+    attempt: int = 0
+    proc: multiprocessing.Process | None = None
+    conn: object | None = None
+    spawned_at: float = 0.0
+    deadline: float | None = None
+    next_spawn: float = 0.0
+    history: list = field(default_factory=list)
+    final: VerificationResult | None = None
+
+    @property
+    def name(self) -> str:
+        return self.order.name
+
+    @property
+    def running(self) -> bool:
+        return self.proc is not None
+
+
+def _default_context():
+    """Prefer fork (no pickling of the program, cheap spawn); fall back
+    to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_parallel_portfolio(
+    program: ConcurrentProgram,
+    config: VerifierConfig | None = None,
+    *,
+    seeds: Sequence[int] = (1, 2, 3),
+    member_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    degrade_after: int | None = DEFAULT_DEGRADE_AFTER,
+    poll_interval: float = 0.02,
+):
+    """Run the standard portfolio with true parallel semantics.
+
+    Returns a :class:`~repro.verifier.portfolio.PortfolioResult` whose
+    ``strategy`` is ``"parallel"`` and whose ``wall_seconds`` is the
+    actual end-to-end wall clock.  Every member slot is filled: a
+    solving/exhausted result, a watchdog ``TIMEOUT``, a contained
+    ``ERROR``, or a cancelled ``UNKNOWN`` once a winner emerged.
+    """
+    from .portfolio import PortfolioResult, standard_orders
+
+    config = config or VerifierConfig()
+    retry = retry or RetryPolicy()
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    ctx = _default_context()
+    started = time.perf_counter()
+    members = [_Member(order=o) for o in standard_orders(program, seeds)]
+    outcome = PortfolioResult(program_name=program.name, strategy="parallel")
+
+    def spawn(member: _Member) -> None:
+        member.attempt += 1
+        scale = retry.scale(member.attempt)
+        worker_config = replace(
+            config,
+            time_budget=(
+                config.time_budget * scale
+                if config.time_budget is not None
+                else None
+            ),
+        )
+        solver_kwargs = dict(
+            branch_budget=int(BASE_BRANCH_BUDGET * scale),
+            node_budget=int(BASE_NODE_BUDGET * scale),
+        )
+        member_faults = (
+            fault_plan.member_plan(member.name)
+            if fault_plan is not None
+            else None
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_member_worker,
+            args=(
+                child_conn,
+                program,
+                member.order,
+                worker_config,
+                solver_kwargs,
+                member_faults,
+                degrade_after,
+            ),
+            name=f"portfolio-{program.name}-{member.name}-a{member.attempt}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        member.proc = proc
+        member.conn = parent_conn
+        member.spawned_at = time.perf_counter()
+        member.deadline = (
+            member.spawned_at + member_timeout * scale
+            if member_timeout is not None
+            else None
+        )
+
+    def reap(member: _Member) -> None:
+        """Tear down the current worker (if any) without recording."""
+        if member.proc is not None:
+            if member.proc.is_alive():
+                member.proc.kill()
+            member.proc.join()
+            member.proc.close()
+            member.proc = None
+        if member.conn is not None:
+            member.conn.close()
+            member.conn = None
+
+    def synthesize(verdict: Verdict, member: _Member, reason: str):
+        return VerificationResult(
+            program_name=program.name,
+            verdict=verdict,
+            order_name=member.name,
+            mode=config.mode,
+            time_seconds=time.perf_counter() - member.spawned_at,
+            failure_reason=reason,
+        )
+
+    def finish_attempt(member: _Member, result: VerificationResult) -> None:
+        result.attempts = member.attempt
+        result.respawns = member.attempt - 1
+        member.history.append(result)
+        reap(member)
+        if retry.wants_retry(result.verdict, member.attempt):
+            member.next_spawn = time.perf_counter() + retry.backoff(
+                member.name, member.attempt
+            )
+        else:
+            member.final = result
+
+    def cancel(member: _Member, winner_name: str) -> None:
+        now = time.perf_counter()
+        was_running = member.running
+        reap(member)
+        if member.history:
+            # a cancelled retry keeps its last observed failure — that
+            # is the honest record of what the member did
+            result = member.history[-1]
+            suffix = f"; cancelled (portfolio winner: {winner_name})"
+            result.failure_reason = (result.failure_reason or "") + suffix
+            result.attempts = member.attempt
+            result.respawns = member.attempt - 1
+        else:
+            result = synthesize(
+                Verdict.UNKNOWN,
+                member,
+                f"cancelled (portfolio winner: {winner_name})",
+            )
+            result.attempts = member.attempt
+            result.respawns = member.attempt - 1
+            if was_running:
+                result.time_seconds = now - member.spawned_at
+        member.final = result
+
+    winner: VerificationResult | None = None
+    try:
+        while winner is None and any(m.final is None for m in members):
+            now = time.perf_counter()
+            for member in members:
+                if (
+                    member.final is None
+                    and not member.running
+                    and now >= member.next_spawn
+                ):
+                    spawn(member)
+
+            conns = [m.conn for m in members if m.running]
+            if conns:
+                ready = mp_connection.wait(conns, timeout=poll_interval)
+            else:
+                # everyone alive is waiting out a retry backoff
+                time.sleep(poll_interval)
+                ready = []
+
+            by_conn = {m.conn: m for m in members if m.running}
+            for conn in ready:
+                member = by_conn[conn]
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    # pipe closed without a message: the worker died hard
+                    member.proc.join(timeout=1.0)
+                    exitcode = member.proc.exitcode
+                    finish_attempt(
+                        member,
+                        synthesize(
+                            Verdict.ERROR,
+                            member,
+                            f"worker died (exit code {exitcode}, "
+                            f"attempt {member.attempt})",
+                        ),
+                    )
+                    continue
+                if kind == "result":
+                    finish_attempt(member, payload)
+                else:  # "crash"
+                    finish_attempt(
+                        member,
+                        synthesize(
+                            Verdict.ERROR,
+                            member,
+                            f"worker crashed: {payload} "
+                            f"(attempt {member.attempt})",
+                        ),
+                    )
+
+            now = time.perf_counter()
+            for member in members:
+                if not member.running:
+                    continue
+                if member.deadline is not None and now > member.deadline:
+                    budget = member.deadline - member.spawned_at
+                    finish_attempt(
+                        member,
+                        synthesize(
+                            Verdict.TIMEOUT,
+                            member,
+                            f"watchdog: killed after {budget:.1f}s "
+                            f"(attempt {member.attempt})",
+                        ),
+                    )
+                elif not member.proc.is_alive() and not member.conn.poll():
+                    exitcode = member.proc.exitcode
+                    finish_attempt(
+                        member,
+                        synthesize(
+                            Verdict.ERROR,
+                            member,
+                            f"worker died (exit code {exitcode}, "
+                            f"attempt {member.attempt})",
+                        ),
+                    )
+
+            for member in members:
+                if member.final is not None and member.final.verdict.solved:
+                    winner = member.final
+                    break
+            if winner is not None:
+                for member in members:
+                    if member.final is None:
+                        cancel(member, winner.order_name)
+    finally:
+        for member in members:
+            reap(member)
+
+    outcome.members = [m.final for m in members]
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome

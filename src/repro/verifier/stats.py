@@ -15,12 +15,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Verdict(enum.Enum):
-    """Outcome of a verification run."""
+    """Outcome of a verification run.
+
+    ``ERROR`` is a *contained* failure: the member (or its worker
+    process) crashed — OOM, recursion blowup, unhandled exception,
+    killed by the runtime watchdog — and the portfolio runtime turned
+    the crash into a result instead of letting it take down the
+    harness.  The failure cause is in
+    :attr:`VerificationResult.failure_reason`.
+    """
 
     CORRECT = "correct"
     INCORRECT = "incorrect"
     UNKNOWN = "unknown"
     TIMEOUT = "timeout"
+    ERROR = "error"
 
     @property
     def solved(self) -> bool:
@@ -168,6 +177,14 @@ class VerificationResult:
     states) reached during the final, successful proof check — the
     paper's proof-size metric.  ``num_predicates`` is the size of the
     underlying predicate vocabulary.
+
+    Runtime provenance (filled in by the portfolio runtime): ``attempts``
+    is how many times this member ran (1 = no retry), ``respawns`` how
+    many worker processes were re-started after a crash/kill,
+    ``failure_reason`` a human-readable cause for
+    ERROR/TIMEOUT/cancelled outcomes, and ``degraded`` records that the
+    member fell back from conditional to syntactic commutativity after
+    too many solver give-ups.
     """
 
     program_name: str
@@ -184,6 +201,10 @@ class VerificationResult:
     query_stats: QueryStats | None = None
     order_name: str = ""
     mode: str = "combined"
+    failure_reason: str | None = None
+    attempts: int = 1
+    respawns: int = 0
+    degraded: bool = False
 
     @property
     def time_per_round(self) -> float:
@@ -198,4 +219,10 @@ class VerificationResult:
             f"states={self.states_explored}",
             f"time={self.time_seconds:.2f}s",
         ]
+        if self.attempts > 1:
+            parts.append(f"attempts={self.attempts}")
+        if self.degraded:
+            parts.append("degraded=syntactic")
+        if self.failure_reason:
+            parts.append(f"reason={self.failure_reason}")
         return "  ".join(parts)

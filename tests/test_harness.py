@@ -117,3 +117,67 @@ class TestOutput:
     def test_budget_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_BUDGET", "7.5")
         assert time_budget() == 7.5
+
+
+class TestCachePolicy:
+    """Only solved verdicts are memoized — a transient failure must stay
+    retryable within the session."""
+
+    def _fake_run(self, monkeypatch, verdicts):
+        import repro.harness as harness
+
+        calls = []
+
+        def fake(program, tool, **kw):
+            calls.append(tool)
+            return VerificationResult(
+                program_name=program.name,
+                verdict=verdicts[min(len(calls), len(verdicts)) - 1],
+            )
+
+        monkeypatch.setattr(harness, "run_tool", fake)
+        return calls
+
+    def test_unsolved_verdicts_not_cached(self, monkeypatch):
+        calls = self._fake_run(
+            monkeypatch, [Verdict.UNKNOWN, Verdict.CORRECT]
+        )
+        bench = by_name(FAST_BENCH)
+        first = run_cached(bench, "flaky-tool")
+        assert first.verdict == Verdict.UNKNOWN
+        second = run_cached(bench, "flaky-tool")
+        assert second.verdict == Verdict.CORRECT  # re-ran, not pinned
+        assert len(calls) == 2
+        third = run_cached(bench, "flaky-tool")
+        assert third is second  # solved result is memoized
+        assert len(calls) == 2
+
+    def test_error_verdict_not_cached(self, monkeypatch):
+        calls = self._fake_run(monkeypatch, [Verdict.ERROR, Verdict.ERROR])
+        bench = by_name(FAST_BENCH)
+        run_cached(bench, "error-tool")
+        run_cached(bench, "error-tool")
+        assert len(calls) == 2
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_content(self, tmp_path):
+        from repro.harness import atomic_write_text
+
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        # no temp-file litter
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_emit_json_keeps_old_file(self, tmp_path, monkeypatch):
+        import repro.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.emit_json("report", {"ok": True})
+        good = (tmp_path / "report.json").read_text()
+        with pytest.raises(TypeError):
+            harness.emit_json("report", {"bad": object()})
+        assert (tmp_path / "report.json").read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]

@@ -1,0 +1,201 @@
+"""Fault-injection layer tests: spec parsing, schedule determinism, and
+the soundness property that injected faults may lose a verdict (to
+UNKNOWN/TIMEOUT/ERROR) but never flip CORRECT and INCORRECT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VerifierConfig, parse, verify
+from repro.benchmarks import mutex
+from repro.core.commutativity import ConditionalCommutativity
+from repro.logic import Solver, SolverUnknown, var, ge, intc
+from repro.verifier import Verdict
+from repro.verifier.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpecError,
+    InjectedCrash,
+    MemberFaultPlan,
+    attach_env_faults,
+    derive_seed,
+)
+
+SIMPLE = "var x: int = 0; thread A { x := x + 1; } thread B { x := x + 1; } post: x == 2;"
+
+
+class TestSpecParsing:
+    def test_defaults_and_members(self):
+        plan = FaultPlan.parse(
+            "seed=42;p_unknown=0.1;seq:crash_at=3;rand(1):hang_at=0;rand(1):hang_s=2.5"
+        )
+        assert plan.seed == 42
+        assert plan.defaults == {"p_unknown": 0.1}
+        seq = plan.member_plan("seq")
+        assert seq.crash_at == 3 and seq.p_unknown == 0.1
+        rand1 = plan.member_plan("rand(1)")
+        assert rand1.hang_at == 0 and rand1.hang_s == 2.5
+        lockstep = plan.member_plan("lockstep")
+        assert lockstep.crash_at is None and lockstep.p_unknown == 0.1
+
+    def test_star_member_is_default(self):
+        plan = FaultPlan.parse("*:delay_ms=3")
+        assert plan.member_plan("anything").delay_ms == 3.0
+
+    def test_unknown_at_list(self):
+        plan = FaultPlan.parse("unknown_at=1|4|9")
+        assert plan.member_plan("seq").unknown_at == (1, 4, 9)
+
+    def test_bad_specs_rejected(self):
+        for spec in ("nonsense", "typo_key=3", "p_unknown=lots"):
+            with pytest.raises(FaultSpecError):
+                FaultPlan.parse(spec)
+
+    def test_inactive_plan_gets_no_injector(self):
+        plan = FaultPlan.parse("seed=5")
+        assert plan.injector_for("seq") is None
+        assert not plan.member_plan("seq").active
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "seed=9;p_unknown=0.5")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.seed == 9
+
+
+class TestDeterminism:
+    def test_schedule_reproducible(self):
+        plan = MemberFaultPlan(member="seq", seed=123, p_unknown=0.3, crash_at=40)
+        assert plan.schedule(200) == plan.schedule(200)
+
+    def test_live_injector_matches_schedule(self):
+        plan = MemberFaultPlan(member="rand(2)", seed=7, p_unknown=0.25)
+        expected = plan.schedule(100)
+        injector = FaultInjector(plan)
+        observed = []
+        for _ in range(100):
+            try:
+                injector.before_query()
+                observed.append("ok")
+            except SolverUnknown:
+                observed.append("unknown")
+        assert observed == expected
+
+    def test_members_get_distinct_schedules(self):
+        plan = FaultPlan.parse("seed=1;p_unknown=0.5")
+        a = plan.member_plan("seq").schedule(64)
+        b = plan.member_plan("lockstep").schedule(64)
+        assert a != b  # seeded per member, not one shared stream
+
+    def test_derive_seed_stable(self):
+        # must not depend on the process hash seed
+        assert derive_seed(42, "seq") == derive_seed(42, "seq")
+        assert derive_seed(42, "seq") != derive_seed(42, "lockstep")
+
+
+class TestInjection:
+    def _solver_with(self, **fields):
+        solver = Solver()
+        solver.fault_injector = FaultInjector(
+            MemberFaultPlan(member="t", seed=1, **fields)
+        )
+        return solver
+
+    def test_injected_unknown(self):
+        solver = self._solver_with(p_unknown=1.0)
+        with pytest.raises(SolverUnknown):
+            solver.is_sat(ge(var("x"), intc(0)))
+        assert solver.fault_injector.injected_unknowns == 1
+
+    def test_injected_crash(self):
+        solver = self._solver_with(crash_at=0)
+        with pytest.raises(InjectedCrash):
+            solver.is_sat(ge(var("x"), intc(0)))
+
+    def test_injected_oom(self):
+        solver = self._solver_with(oom_at=1)
+        assert solver.is_sat(ge(var("x"), intc(0))) is True
+        with pytest.raises(MemoryError):
+            solver.is_sat(ge(var("x"), intc(1)))
+
+    def test_unknown_at_indices(self):
+        solver = self._solver_with(unknown_at=(1,))
+        formula = ge(var("x"), intc(0))
+        assert solver.is_sat(formula) is True
+        with pytest.raises(SolverUnknown):
+            solver.is_sat(formula)  # query 1, even though it is a cache hit
+
+
+class TestEnvHook:
+    def test_verify_picks_up_env_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2;p_unknown=1.0")
+        result = verify(parse(SIMPLE, name="p"), config=VerifierConfig(max_rounds=8))
+        assert result.verdict == Verdict.UNKNOWN
+
+    def test_existing_injector_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2;p_unknown=1.0")
+        solver = Solver()
+        marker = FaultInjector(MemberFaultPlan(member="mine", seed=0, delay_ms=0.001))
+        solver.fault_injector = marker
+        assert attach_env_faults(solver, member="seq") is marker
+        assert solver.fault_injector is marker
+
+    def test_no_env_no_injector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        solver = Solver()
+        assert attach_env_faults(solver, member="seq") is None
+        assert solver.fault_injector is None
+
+
+def _corpus():
+    return [
+        parse(SIMPLE, name="incr2"),
+        mutex.dekker(),
+        mutex.dekker(correct=False),
+        mutex.double_observer(),
+        mutex.double_observer(correct=False),
+    ]
+
+
+def _run(program, fault_plan=None, member="seq"):
+    solver = Solver()
+    if fault_plan is not None:
+        injector = fault_plan.injector_for(member)
+        if injector is not None:
+            solver.fault_injector = injector
+    return verify(
+        program,
+        commutativity=ConditionalCommutativity(solver),
+        config=VerifierConfig(max_rounds=12),
+        solver=solver,
+    )
+
+
+class TestNoVerdictFlips:
+    """Injected SolverUnknowns are sound: a solved verdict may degrade
+    to UNKNOWN/TIMEOUT/ERROR but never turn into the opposite verdict."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_corpus_verdicts_never_flip(self, seed):
+        plan = FaultPlan.parse(f"seed={seed};p_unknown=0.3")
+        for program in _corpus():
+            baseline = _run(program).verdict
+            faulted = _run(program, fault_plan=plan).verdict
+            allowed = {baseline, Verdict.UNKNOWN, Verdict.TIMEOUT, Verdict.ERROR}
+            assert faulted in allowed, (
+                f"{program.name}: {baseline.value} became {faulted.value} "
+                f"under fault seed {seed}"
+            )
+
+    def test_faults_actually_fire_on_corpus(self):
+        plan = FaultPlan.parse("seed=1;p_unknown=0.3")
+        solver = Solver()
+        solver.fault_injector = plan.injector_for("seq")
+        verify(
+            _corpus()[0],
+            commutativity=ConditionalCommutativity(solver),
+            config=VerifierConfig(max_rounds=12),
+            solver=solver,
+        )
+        assert solver.fault_injector.injected_unknowns > 0

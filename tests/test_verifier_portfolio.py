@@ -80,3 +80,48 @@ class TestPortfolioResult:
         pr = PortfolioResult("p")
         assert pr.winner is None
         assert pr.aggregate().verdict == Verdict.UNKNOWN
+
+
+class TestAggregateFailurePath:
+    """The no-winner aggregate must say how many members ran, what each
+    answered, and how long the portfolio spent overall."""
+
+    def test_empty_portfolio_reports_zero_members(self):
+        pr = PortfolioResult("p")
+        agg = pr.aggregate()
+        assert agg.verdict == Verdict.UNKNOWN
+        assert agg.failure_reason == "empty portfolio (0 members)"
+        assert agg.time_seconds == 0.0
+
+    def test_all_unknown_reports_count_and_elapsed(self):
+        pr = PortfolioResult("p")
+        pr.members = [
+            result(Verdict.UNKNOWN, 1.0, "seq"),
+            result(Verdict.UNKNOWN, 2.5, "lockstep"),
+            result(Verdict.TIMEOUT, 4.0, "rand(1)"),
+        ]
+        agg = pr.aggregate()
+        assert agg.verdict == Verdict.UNKNOWN
+        assert "3 members" in agg.failure_reason
+        assert "seq=unknown" in agg.failure_reason
+        assert "rand(1)=timeout" in agg.failure_reason
+        # parallel semantics: the portfolio gives up with its last member
+        assert agg.time_seconds == 4.0
+
+    def test_measured_wall_clock_preferred(self):
+        pr = PortfolioResult("p", strategy="parallel", wall_seconds=7.25)
+        pr.members = [result(Verdict.UNKNOWN, 1.0, "seq")]
+        assert pr.elapsed_seconds() == 7.25
+        assert pr.aggregate().time_seconds == 7.25
+
+    def test_aggregate_rolls_up_retry_counters(self):
+        pr = PortfolioResult("p")
+        a = result(Verdict.UNKNOWN, 1.0, "seq")
+        a.attempts, a.respawns = 3, 2
+        b = result(Verdict.UNKNOWN, 1.0, "lockstep")
+        b.attempts, b.respawns, b.degraded = 2, 1, True
+        pr.members = [a, b]
+        agg = pr.aggregate()
+        assert agg.attempts == 3
+        assert agg.respawns == 3
+        assert agg.degraded
