@@ -1,0 +1,114 @@
+"""Behavior-preservation guard: ``states_explored`` vs a checked-in baseline.
+
+The reduction/search stack promises *bit-identical* exploration across
+refactors: same verdicts, same per-round state counts, same
+counterexample traces.  This bench re-runs a small, fast subset of the
+Figure 1(c) corpus (bluetooth, 2-4 threads) across the reduction modes
+and both search strategies and compares every run against
+``benchmarks/states_baseline.json``, which is checked in.
+
+Any drift — a state explored more or less, a different verdict, a
+different round count — fails the job.  This is the regression guard for
+the unified worklist engine / layered reduction pipeline, and for any
+future refactor that claims to preserve behavior.
+
+To regenerate the baseline after an *intentional* semantic change::
+
+    REPRO_REGEN_BASELINE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/bench_states_guard.py -q --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import VerifierConfig, verify
+from repro.benchmarks import bluetooth
+from repro.core import LockstepOrder, ThreadUniformOrder
+from repro.core.commutativity import ConditionalCommutativity
+from repro.harness import atomic_write_text, emit
+from repro.logic import Solver
+
+BASELINE_PATH = Path(__file__).resolve().parent / "states_baseline.json"
+
+#: (threads, order, mode, search) — chosen to cover every reduction mode
+#: and both search strategies while staying fast enough for a CI smoke
+CASES = (
+    (2, "seq", "combined", "bfs"),
+    (2, "seq", "combined", "dfs"),
+    (2, "seq", "sleep", "bfs"),
+    (2, "seq", "persistent", "bfs"),
+    (2, "seq", "none", "bfs"),
+    (2, "lockstep", "combined", "bfs"),
+    (3, "seq", "combined", "bfs"),
+    (3, "lockstep", "combined", "bfs"),
+    (4, "seq", "combined", "bfs"),
+)
+
+
+def _case_id(threads: int, order: str, mode: str, search: str) -> str:
+    return f"bluetooth({threads})/{order}/{mode}/{search}"
+
+
+def _run_case(threads: int, order_name: str, mode: str, search: str) -> dict:
+    program = bluetooth(threads)
+    order = (
+        ThreadUniformOrder()
+        if order_name == "seq"
+        else LockstepOrder(len(program.threads))
+    )
+    solver = Solver()
+    result = verify(
+        program,
+        order,
+        ConditionalCommutativity(solver),
+        config=VerifierConfig(mode=mode, search=search, max_rounds=60),
+        solver=solver,
+    )
+    return {
+        "verdict": result.verdict.value,
+        "rounds": result.rounds,
+        "proof_size": result.proof_size,
+        "states_explored": result.states_explored,
+        "states_per_round": [r.states_explored for r in result.round_stats],
+        "counterexample": (
+            [s.label for s in result.counterexample]
+            if result.counterexample is not None
+            else None
+        ),
+    }
+
+
+def _run_guard() -> dict:
+    return {
+        _case_id(*case): _run_case(*case) for case in CASES
+    }
+
+
+def test_states_explored_matches_baseline(benchmark):
+    observed = benchmark.pedantic(_run_guard, rounds=1, iterations=1)
+    if os.environ.get("REPRO_REGEN_BASELINE"):
+        atomic_write_text(BASELINE_PATH, json.dumps(observed, indent=2) + "\n")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    lines = [f"{'case':38s} {'verdict':9s} {'rounds':>6s} {'states':>8s}"]
+    drifted = []
+    for case, expected in baseline.items():
+        got = observed.get(case)
+        status = "ok" if got == expected else "DRIFT"
+        if got != expected:
+            drifted.append((case, expected, got))
+        lines.append(
+            f"{case:38s} {got['verdict']:9s} {got['rounds']:>6d} "
+            f"{got['states_explored']:>8d}  {status}"
+        )
+    emit("states_guard", lines)
+    assert set(observed) == set(baseline), "guard case set changed; regenerate"
+    assert not drifted, (
+        "exploration drifted from the checked-in baseline:\n"
+        + "\n".join(
+            f"  {case}:\n    expected {exp}\n    observed {got}"
+            for case, exp, got in drifted
+        )
+    )

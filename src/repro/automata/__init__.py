@@ -1,6 +1,15 @@
-"""Finite automata: explicit DFAs and on-the-fly (lazy) automata."""
+"""Finite automata: explicit DFAs, on-the-fly (lazy) automata, and the
+shared worklist engine behind every exploration."""
 
 from .dfa import DFA, Letter, State
+from .engine import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    EngineStats,
+    SearchResult,
+    StateBudgetExceeded,
+    WorklistEngine,
+)
 from .lazy import (
     ExplorationLimit,
     LazyDFA,
@@ -15,6 +24,12 @@ __all__ = [
     "DFA",
     "Letter",
     "State",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "EngineStats",
+    "SearchResult",
+    "StateBudgetExceeded",
+    "WorklistEngine",
     "ExplorationLimit",
     "LazyDFA",
     "MappedLazyDFA",

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 State = Hashable
 Letter = Hashable

@@ -7,14 +7,17 @@ state, per-state successors, and the acceptance predicate; exploration
 (:func:`explore`, :func:`materialize`, :func:`shortest_accepted_word`)
 constructs exactly the states that are visited.  This realizes the
 paper's "on the fly" constructions (§6, §7.2).
+
+All traversals delegate to the shared :class:`~repro.automata.engine.
+WorklistEngine`; the helpers here only describe *what* to search.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Hashable, Iterable, Iterator, Protocol
+from typing import Callable, Iterable, Protocol
 
 from .dfa import DFA, Letter, State
+from .engine import StateBudgetExceeded, WorklistEngine
 
 
 class LazyDFA(Protocol):
@@ -30,7 +33,7 @@ class LazyDFA(Protocol):
         """Acceptance predicate."""
 
 
-class ExplorationLimit(Exception):
+class ExplorationLimit(StateBudgetExceeded):
     """Raised when on-the-fly exploration exceeds its state budget."""
 
 
@@ -38,22 +41,17 @@ def explore(
     automaton: LazyDFA, *, max_states: int | None = None
 ) -> tuple[set[State], dict[tuple[State, Letter], State]]:
     """Breadth-first reachability; returns (states, transitions)."""
-    initial = automaton.initial_state()
-    seen: set[State] = {initial}
     transitions: dict[tuple[State, Letter], State] = {}
-    queue: deque[State] = deque([initial])
-    while queue:
-        q = queue.popleft()
-        for a, q2 in automaton.successors(q):
-            transitions[(q, a)] = q2
-            if q2 not in seen:
-                seen.add(q2)
-                if max_states is not None and len(seen) > max_states:
-                    raise ExplorationLimit(
-                        f"exceeded {max_states} states during exploration"
-                    )
-                queue.append(q2)
-    return seen, transitions
+    engine: WorklistEngine = WorklistEngine(
+        automaton.successors,
+        strategy="bfs",
+        max_states=max_states,
+        budget_error=ExplorationLimit,
+        budget_message=f"exceeded {max_states} states during exploration",
+        on_edge=lambda q, a, q2: transitions.__setitem__((q, a), q2),
+    )
+    result = engine.run(automaton.initial_state())
+    return result.seen, transitions
 
 
 def materialize(
@@ -84,26 +82,15 @@ def shortest_accepted_word(
     automaton: LazyDFA, *, max_states: int | None = None
 ) -> tuple[Letter, ...] | None:
     """BFS for a shortest accepted word; ``None`` if the language is empty."""
-    initial = automaton.initial_state()
-    if automaton.is_accepting(initial):
-        return ()
-    seen: set[State] = {initial}
-    queue: deque[tuple[State, tuple[Letter, ...]]] = deque([(initial, ())])
-    while queue:
-        q, word = queue.popleft()
-        for a, q2 in automaton.successors(q):
-            if q2 in seen:
-                continue
-            seen.add(q2)
-            if max_states is not None and len(seen) > max_states:
-                raise ExplorationLimit(
-                    f"exceeded {max_states} states during search"
-                )
-            extended = word + (a,)
-            if automaton.is_accepting(q2):
-                return extended
-            queue.append((q2, extended))
-    return None
+    engine: WorklistEngine = WorklistEngine(
+        automaton.successors,
+        strategy="bfs",
+        max_states=max_states,
+        budget_error=ExplorationLimit,
+        budget_message=f"exceeded {max_states} states during search",
+    )
+    result = engine.run(automaton.initial_state(), goal=automaton.is_accepting)
+    return result.trace
 
 
 class MappedLazyDFA:

@@ -66,6 +66,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         mode=args.mode,
         proof_sensitive=not args.no_proof_sensitive,
         search=args.search,
+        use_useless_cache=args.useless_cache,
         max_rounds=args.max_rounds,
         time_budget=args.timeout,
         simplify_proof=args.show_proof,
@@ -230,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("combined", "sleep", "persistent", "none"),
     )
     p_verify.add_argument("--search", default="bfs", choices=("bfs", "dfs"))
+    p_verify.add_argument(
+        "--useless-cache", action="store_true",
+        help="cross-round useless-state cache (dfs search only)",
+    )
     p_verify.add_argument("--no-proof-sensitive", action="store_true")
     p_verify.add_argument("--show-proof", action="store_true")
     p_verify.add_argument(

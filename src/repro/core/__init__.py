@@ -16,6 +16,14 @@ from .mazurkiewicz import (
     foata_normal_form,
     partition_into_classes,
 )
+from .layers import (
+    ContextLayer,
+    LayerStats,
+    PersistentLayer,
+    ProductLayer,
+    SleepLayer,
+    build_reduction_layers,
+)
 from .membrane import is_membrane, is_weakly_persistent
 from .persistent import PersistentSetProvider
 from .preference import (
@@ -43,6 +51,12 @@ __all__ = [
     "equivalent",
     "foata_normal_form",
     "partition_into_classes",
+    "ContextLayer",
+    "LayerStats",
+    "PersistentLayer",
+    "ProductLayer",
+    "SleepLayer",
+    "build_reduction_layers",
     "is_membrane",
     "is_weakly_persistent",
     "PersistentSetProvider",

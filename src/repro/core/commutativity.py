@@ -25,7 +25,7 @@ the space-complexity theorems (Thm 4.3 / 7.2) and by the test oracles.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Iterable, Protocol
+from typing import Protocol
 
 from ..lang.statements import Statement
 from ..logic import Solver, SolverUnknown, TRUE, Term, and_, eq, iff, implies, var

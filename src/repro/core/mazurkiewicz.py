@@ -16,7 +16,7 @@ every dependent pair); :func:`equivalent` uses it, and
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
 from ..lang.statements import Statement
 from .commutativity import CommutativityRelation

@@ -9,7 +9,7 @@ by construction (Proposition 7.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 from ..lang.statements import Statement
 from .commutativity import CommutativityRelation

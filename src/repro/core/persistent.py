@@ -25,7 +25,7 @@ keeps M a membrane under error-state acceptance.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..lang.program import ConcurrentProgram, ProductState
 from ..lang.statements import Statement

@@ -12,6 +12,11 @@ Table 2 of the paper:
 * ``"persistent"`` — P↓π only: sound reduction, not language-minimal;
 * ``"none"``     — the full interleaving product (the Automizer
   baseline).
+
+All four are assemblies of the shared layer stack
+(:func:`repro.core.layers.build_reduction_layers`); the successor rules
+live there, in one place, and the ⋖-sorted edge lists are memoized per
+``(q, ctx)`` by the context layer.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from ..automata import DFA, materialize
 from ..lang.program import ConcurrentProgram, ProductState
 from ..lang.statements import Statement
 from .commutativity import CommutativityRelation, SyntacticCommutativity
+from .layers import build_reduction_layers
 from .persistent import PersistentSetProvider
 from .preference import Context, PreferenceOrder, ThreadUniformOrder
 
@@ -54,49 +60,30 @@ class ReducedProduct:
             self._persistent = PersistentSetProvider(
                 program, self.order, self.commutativity
             )
+        self._layer = build_reduction_layers(
+            self.view,
+            self.order,
+            self.commutativity,
+            mode=mode,
+            membrane=(
+                self._persistent.persistent_letters
+                if self._persistent is not None
+                else None
+            ),
+        )
 
-    # -- lazy DFA interface ------------------------------------------------
+    # -- lazy DFA interface (delegated to the layer stack) -----------------
 
     def initial_state(self) -> ReducedState:
-        return (
-            self.view.initial_state(),
-            frozenset(),
-            self.order.initial_context(),
-        )
+        return self._layer.initial_state()
 
     def successors(
         self, state: ReducedState
     ) -> Iterator[tuple[Statement, ReducedState]]:
-        q, sleep, ctx = state
-        edges = list(self.view.successors(q))
-        if not edges:
-            return
-        enabled = [a for a, _ in edges]
-        if self._persistent is not None:
-            allowed = self._persistent.persistent_letters(q, ctx)
-        else:
-            allowed = None
-        use_sleep = self.mode in ("combined", "sleep")
-        edges.sort(key=lambda e: self.order.key(ctx, e[0]))
-        for a, q2 in edges:
-            if a in sleep:
-                continue
-            if allowed is not None and a not in allowed:
-                continue
-            if use_sleep:
-                key_a = self.order.key(ctx, a)
-                new_sleep = frozenset(
-                    b
-                    for b in enabled
-                    if (b in sleep or self.order.key(ctx, b) < key_a)
-                    and self.commutativity.commute(a, b)
-                )
-            else:
-                new_sleep = frozenset()
-            yield a, (q2, new_sleep, self.order.advance(ctx, a))
+        return self._layer.successors(state)
 
     def is_accepting(self, state: ReducedState) -> bool:
-        return self.view.is_accepting(state[0])
+        return self._layer.is_accepting(state)
 
     # -- convenience ----------------------------------------------------------
 

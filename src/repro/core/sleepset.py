@@ -10,6 +10,10 @@ States are triples ⟨q, S, c⟩ of a base state, the sleep set S ⊆ Σ, and
 the preference-order context c (the paper encodes c in the state of A;
 carrying it explicitly is the product construction, see
 :mod:`repro.core.preference`).
+
+This class is a thin assembly over the shared layer stack
+(:mod:`repro.core.layers`): the sleep-set successor rule itself lives in
+:meth:`repro.core.layers.SleepLayer.reduced_edges` — its only home.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Hashable, Iterable, Iterator
 from ..automata import DFA
 from ..lang.statements import Statement
 from .commutativity import CommutativityRelation
+from .layers import ContextLayer, SleepLayer
 from .preference import Context, PreferenceOrder
 
 BaseState = Hashable
@@ -45,7 +50,7 @@ class DfaBase:
 
 
 class SleepSetAutomaton:
-    """S⋖(A) as a lazy DFA.
+    """S⋖(A) as a lazy DFA: the Product → Context → Sleep layer stack.
 
     δ_S(⟨q, S⟩, a) is undefined if a ∈ S or δ(q, a) is undefined, and
     otherwise ⟨δ(q, a), S'⟩ with
@@ -62,30 +67,15 @@ class SleepSetAutomaton:
         self.base = base
         self.order = order
         self.commutativity = commutativity
-
-    def initial_state(self) -> SleepState:
-        return (
-            self.base.initial_state(),
-            frozenset(),
-            self.order.initial_context(),
+        self._layer = SleepLayer(
+            ContextLayer(base, order), commutativity.commute
         )
 
+    def initial_state(self) -> SleepState:
+        return self._layer.initial_state()
+
     def successors(self, state: SleepState) -> Iterator[tuple[Statement, SleepState]]:
-        q, sleep, ctx = state
-        edges = list(self.base.successors(q))
-        enabled = [a for a, _ in edges]
-        edges.sort(key=lambda e: self.order.key(ctx, e[0]))
-        for a, q2 in edges:
-            if a in sleep:
-                continue
-            key_a = self.order.key(ctx, a)
-            new_sleep = frozenset(
-                b
-                for b in enabled
-                if (b in sleep or self.order.key(ctx, b) < key_a)
-                and self.commutativity.commute(a, b)
-            )
-            yield a, (q2, new_sleep, self.order.advance(ctx, a))
+        return self._layer.successors(state)
 
     def is_accepting(self, state: SleepState) -> bool:
-        return self.base.is_accepting(state[0])
+        return self._layer.is_accepting(state)

@@ -23,7 +23,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from .benchmarks import Benchmark, all_benchmarks
 from .core.commutativity import ConditionalCommutativity, SyntacticCommutativity
@@ -36,7 +36,6 @@ from .core.preference import (
 from .lang.program import ConcurrentProgram
 from .logic import Solver
 from .verifier import (
-    PortfolioResult,
     Verdict,
     VerificationResult,
     VerifierConfig,

@@ -12,7 +12,7 @@ variables are modeled as 0/1 integers by the front-end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..logic import Term

@@ -14,10 +14,10 @@ block is a set of parallel edges — indivisible by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
-from ..logic import TRUE, Term, and_, not_, substitute, var
+from ..logic import TRUE, not_, var
 from . import ast
 from .statements import Statement, SymbolicAction
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from ..logic import Solver, evaluate
 from .program import ConcurrentProgram, ProductState
@@ -57,7 +57,7 @@ def _initial_stores(
     if model is None:
         return
     # find which variables are forced by the precondition
-    from ..logic import and_, eq, intc, ne, var
+    from ..logic import and_, intc, ne, var
 
     forced: dict[str, object] = {name: () for name in arrays}
     free: list[str] = []

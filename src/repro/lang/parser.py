@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator
 
 from ..logic import (
     FALSE,
@@ -44,7 +43,6 @@ from ..logic import (
     le,
     lt,
     mul,
-    ne,
     not_,
     or_,
     sub,

@@ -14,11 +14,11 @@ reachable by a feasible trace, and (b) every feasible complete trace
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 from ..automata import DFA, materialize
-from ..logic import TRUE, Term, and_, eq, intc, substitute, var
+from ..logic import TRUE, Term, and_, eq, substitute, var
 from . import ast
 from .cfg import ThreadCFG, compile_thread
 from .statements import Statement

@@ -22,7 +22,7 @@ realizes the paper's assumption Σᵢ ∩ Σⱼ = ∅ (§3) for free.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from ..logic import (
     TRUE,
@@ -31,7 +31,6 @@ from ..logic import (
     eliminate_forall,
     free_vars,
     implies,
-    not_,
     substitute,
     var,
 )

@@ -11,9 +11,8 @@ boolean structure beforehand (see :func:`repro.logic.solver.lift_ite`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterator, Mapping
+from typing import Mapping
 
 from .terms import Add, Eq, IntConst, Ite, Le, Mul, Term, Var, add, intc, mul, var
 

@@ -18,24 +18,10 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from .atoms import LinearConstraint, atom_constraints
+from .atoms import LinearConstraint
 from .fourier import fm_project, tighten
 from .solver import lift_ite, to_nnf, _branches, _is_literal
-from .terms import (
-    And,
-    BoolConst,
-    FALSE,
-    Le,
-    Not,
-    Or,
-    TRUE,
-    Term,
-    and_,
-    intc,
-    le,
-    not_,
-    or_,
-)
+from .terms import And, BoolConst, FALSE, Or, Term, and_, intc, le, not_, or_
 
 
 def _cubes(formula: Term) -> Iterator[tuple[LinearConstraint, ...]]:

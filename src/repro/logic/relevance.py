@@ -18,7 +18,6 @@ relevant core, multiplies solver cache hits.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from .terms import And, Term, and_, free_vars
 

@@ -20,21 +20,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, fields
-from typing import Iterator, Mapping
 
-from .atoms import LinearConstraint, atom_constraints, linearize
-from .fourier import (
-    BranchBudgetExceeded,
-    integer_model,
-    rational_model,
-    rationally_feasible,
-)
+from .atoms import LinearConstraint, atom_constraints
+from .fourier import BranchBudgetExceeded, integer_model, rationally_feasible
 from .terms import (
     And,
     BoolConst,
     Eq,
     FALSE,
-    IntConst,
     Ite,
     Le,
     Mul,
@@ -43,11 +36,9 @@ from .terms import (
     Or,
     TRUE,
     Term,
-    Var,
     and_,
     eq,
     evaluate,
-    ge,
     gt,
     ite,
     le,

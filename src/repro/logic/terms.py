@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 
 class Term:

@@ -15,7 +15,7 @@ This mirrors the paper's separation between proof *finding* and proof
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..core.commutativity import (
     CommutativityRelation,

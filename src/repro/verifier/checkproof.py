@@ -12,25 +12,36 @@ A state whose assertion is ⊥ is covered and never expanded; a violation
 (or an exit state whose assertion does not entail the postcondition)
 reached with a non-⊥ assertion yields a counterexample trace.
 
-Two search strategies:
+Architecturally this module adds exactly one layer of its own, the
+:class:`ProofCoverLayer` (Floyd/Hoare product with ⊥-covering, §7.2), on
+top of the shared reduction stack of :mod:`repro.core.layers` — the
+sleep-set rule is *not* re-implemented here; the proof-sensitive
+relation is threaded into :meth:`repro.core.layers.SleepLayer.
+reduced_edges` as a commutativity callback.  The search itself is the
+shared :class:`~repro.automata.engine.WorklistEngine`; two strategies:
 
 * ``"bfs"`` (default) — returns a *shortest* uncovered trace, which
   keeps refinement interpolants small;
 * ``"dfs"`` — faithful to Algorithm 2, and supports the cross-round
   "useless state" cache of §7.2 (sound by monotonicity of
-  proof-sensitive commutativity).
+  proof-sensitive commutativity) as an engine strategy hook.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
+from ..automata.engine import (
+    DeadlineExceeded,
+    StateBudgetExceeded,
+    WorklistEngine,
+)
 from ..core.commutativity import (
     CommutativityRelation,
     ConditionalCommutativity,
 )
+from ..core.layers import build_reduction_layers
 from ..core.persistent import PersistentSetProvider
 from ..core.preference import Context, PreferenceOrder
 from ..lang.program import ConcurrentProgram, ProductState
@@ -41,8 +52,17 @@ from .hoare import FhState, FloydHoareAutomaton
 CheckState = tuple[ProductState, FhState, frozenset[Statement], Context]
 
 
-class CheckDeadlineExceeded(Exception):
+class CheckDeadlineExceeded(DeadlineExceeded):
     """The per-run time budget expired mid-round."""
+
+
+class CheckBudgetExceeded(StateBudgetExceeded):
+    """The proof check exceeded its state budget.
+
+    Part of the engine's typed :class:`~repro.automata.engine.
+    BudgetExceeded` hierarchy; still a ``MemoryError`` for callers of
+    the historical ``verify()`` boundary contract.
+    """
 
 
 @dataclass
@@ -64,6 +84,12 @@ class UselessStateCache:
     A state ⟨q, S, c⟩ proven useless under predicate set Φ stays useless
     under any Φ' ⊇ Φ: assertions only strengthen across rounds, and
     proof-sensitive commutativity is monotone (§7.2).
+
+    Each bucket is kept as a ⊆-minimal antichain: :meth:`mark` drops
+    dominated entries incrementally, and :meth:`compact` re-applies the
+    same frontier rule wholesale (the hook the checker calls after the
+    proof vocabulary grows, mirroring the commutativity subsumption
+    cache's ``note_vocabulary_grown``).
     """
 
     def __init__(self) -> None:
@@ -82,6 +108,85 @@ class UselessStateCache:
         bucket[:] = [rec for rec in bucket if not (predicates <= rec)]
         if not any(rec <= predicates for rec in bucket):
             bucket.append(predicates)
+
+    def compact(self) -> None:
+        """Compact every bucket to its ⊆-minimal frontier.
+
+        An entry Φ dominated by a kept Φ₀ ⊆ Φ answers no query Φ₀ does
+        not; dropping it changes no answer and keeps the linear scans in
+        :meth:`is_useless` from growing round over round.
+        """
+        for bucket in self._useless.values():
+            bucket[:] = [
+                s
+                for i, s in enumerate(bucket)
+                if not any(
+                    other < s or (other == s and j < i)
+                    for j, other in enumerate(bucket)
+                )
+            ]
+
+
+class _UselessHook:
+    """Adapts :class:`UselessStateCache` to the engine's strategy hook.
+
+    The cache is keyed by the reduction part ⟨q, S, c⟩ of a check state
+    with the Floyd/Hoare assertion as the monotone predicate dimension.
+    """
+
+    def __init__(self, cache: UselessStateCache) -> None:
+        self.cache = cache
+
+    def is_useless(self, state: CheckState) -> bool:
+        q, phi_state, sleep, ctx = state
+        return self.cache.is_useless((q, sleep, ctx), phi_state)
+
+    def mark(self, state: CheckState) -> None:
+        q, phi_state, sleep, ctx = state
+        self.cache.mark((q, sleep, ctx), phi_state)
+
+
+class ProofCoverLayer:
+    """The Floyd/Hoare product with ⊥-covering (§7.2) — the top layer.
+
+    Wraps the shared reduction stack for one proof-check round: states
+    gain the assertion component φ, successors step φ through the
+    Floyd/Hoare automaton, and the proof-sensitive commutativity
+    a ↷↷_φ b is threaded into the sleep-set rule as a callback.  A ⊥
+    state is *covered*: the proof refutes everything below it.
+    """
+
+    def __init__(self, checker: "ProofChecker", fh: FloydHoareAutomaton) -> None:
+        self.checker = checker
+        self.fh = fh
+
+    def initial_state(self, pre: Term) -> CheckState:
+        checker = self.checker
+        return (
+            checker.program.initial_state(),
+            self.fh.initial_state(pre),
+            frozenset(),
+            checker.order.initial_context(),
+        )
+
+    def successors(self, state: CheckState) -> Iterator[tuple[Statement, CheckState]]:
+        checker = self.checker
+        fh = self.fh
+        q, phi_state, sleep, ctx = state
+        if checker.program.is_violation(q):
+            return
+        if checker._use_sleep:
+            def commute(a: Statement, b: Statement) -> bool:
+                return checker._commute(fh, phi_state, a, b)
+        else:
+            commute = None
+        for a, q2, new_sleep, ctx2 in checker._layer.reduced_edges(
+            q, sleep, ctx, commute=commute
+        ):
+            yield a, (q2, fh.step(phi_state, a), new_sleep, ctx2)
+
+    def is_covered(self, state: CheckState) -> bool:
+        return self.fh.is_bottom(state[1])
 
 
 class ProofChecker:
@@ -119,6 +224,21 @@ class ProofChecker:
             self._persistent = PersistentSetProvider(
                 program, order, commutativity
             )
+        self._use_sleep = mode in ("combined", "sleep")
+        # the shared reduction stack; the edge-order memo inside its
+        # context layer persists across rounds (edges depend only on the
+        # program and the preference order, never on the proof)
+        self._layer = build_reduction_layers(
+            program,
+            order,
+            None,  # the proof-sensitive callback is threaded per round
+            mode=mode,
+            membrane=(
+                self._persistent.persistent_letters
+                if self._persistent is not None
+                else None
+            ),
+        )
         self._memoize = memoize_commutativity
         self._commute_entries: dict[
             tuple[int, int], tuple[list[FhState], list[FhState]]
@@ -127,6 +247,20 @@ class ProofChecker:
         self.commute_queries = 0
         #: ... of which the monotone subsumption cache answered directly
         self.commute_subsumption_hits = 0
+        #: engine counters aggregated over all rounds of this checker
+        self.engine_states_explored = 0
+        self.engine_deadline_ticks = 0
+
+    # -- engine counters ------------------------------------------------------
+
+    @property
+    def edge_sort_hits(self) -> int:
+        """(q, ctx)-memoized edge orderings served without re-sorting."""
+        return self._layer.context.stats.edge_sort_hits
+
+    @property
+    def edge_sort_misses(self) -> int:
+        return self._layer.context.stats.edge_sort_misses
 
     # -- commutativity under the current assertion ---------------------------
     #
@@ -174,10 +308,14 @@ class ProofChecker:
         compacted to its frontier: positives to their ⊆-minimal sets,
         negatives to their ⊇-maximal sets.  Every dropped entry was
         dominated by a kept one, so no answer changes; the lists the hot
-        path scans linearly just stop growing round over round.
+        path scans linearly just stop growing round over round.  The
+        useless-state cache's buckets obey the same frontier rule and are
+        compacted together with them.
         """
         if self._conditional is not None:
             self._conditional.note_vocabulary_grown()
+        if self.useless_cache is not None:
+            self.useless_cache.compact()
         for positives, negatives in self._commute_entries.values():
             positives[:] = [
                 s
@@ -201,40 +339,8 @@ class ProofChecker:
     def _successors(
         self, fh: FloydHoareAutomaton, state: CheckState
     ) -> Iterator[tuple[Statement, CheckState]]:
-        q, phi_state, sleep, ctx = state
-        if self.program.is_violation(q):
-            return
-        edges = sorted(
-            self.program.successors(q),
-            key=lambda e: self.order.key(ctx, e[0]),
-        )
-        enabled = [a for a, _ in edges]
-        if self._persistent is not None:
-            allowed = self._persistent.persistent_letters(q, ctx)
-        else:
-            allowed = None
-        use_sleep = self.mode in ("combined", "sleep")
-        for a, q2 in edges:
-            if a in sleep:
-                continue
-            if allowed is not None and a not in allowed:
-                continue
-            if use_sleep:
-                key_a = self.order.key(ctx, a)
-                new_sleep = frozenset(
-                    b
-                    for b in enabled
-                    if (b in sleep or self.order.key(ctx, b) < key_a)
-                    and self._commute(fh, phi_state, a, b)
-                )
-            else:
-                new_sleep = frozenset()
-            yield a, (
-                q2,
-                fh.step(phi_state, a),
-                new_sleep,
-                self.order.advance(ctx, a),
-            )
+        """Successors of a check state (delegates to the layer stack)."""
+        return ProofCoverLayer(self, fh).successors(state)
 
     # -- uncovered-state detection ------------------------------------------------
 
@@ -254,125 +360,32 @@ class ProofChecker:
     # -- the check ----------------------------------------------------------------
 
     def check(self, fh: FloydHoareAutomaton, pre: Term, post: Term) -> CheckOutcome:
-        initial: CheckState = (
-            self.program.initial_state(),
-            fh.initial_state(pre),
-            frozenset(),
-            self.order.initial_context(),
-        )
-        if self.search == "bfs":
-            return self._check_bfs(fh, initial, post)
-        return self._check_dfs(fh, initial, post)
-
-    def _check_bfs(
-        self, fh: FloydHoareAutomaton, initial: CheckState, post: Term
-    ) -> CheckOutcome:
-        seen: set[CheckState] = {initial}
-        assertions: set[FhState] = {initial[1]}
-        parent: dict[CheckState, tuple[CheckState, Statement]] = {}
-        queue: deque[CheckState] = deque([initial])
-        ticks = 0
-        while queue:
-            state = queue.popleft()
-            ticks += 1
-            if ticks % 128 == 0:
-                self._check_deadline()
-            if self._uncovered(fh, state, post):
-                return CheckOutcome(
-                    self._trace_to(parent, state), len(seen), len(assertions)
-                )
-            if fh.is_bottom(state[1]):
-                continue  # covered: the proof refutes everything below
-            for a, nxt in self._successors(fh, state):
-                if nxt in seen:
-                    continue
-                seen.add(nxt)
-                if self.max_states is not None and len(seen) > self.max_states:
-                    raise MemoryError("proof check exceeded its state budget")
-                assertions.add(nxt[1])
-                parent[nxt] = (state, a)
-                queue.append(nxt)
-        return CheckOutcome(None, len(seen), len(assertions))
-
-    def _check_dfs(
-        self, fh: FloydHoareAutomaton, initial: CheckState, post: Term
-    ) -> CheckOutcome:
-        """Iterative DFS (Algorithm 2) with sound useless-state marking.
-
-        A state may only be marked useless if its exploration did not
-        get cut off at a *grey* node (a state still on the DFS stack):
-        such a cut is a cycle back into the current path, and the cycle
-        target's subtree is not fully explored yet.  Taint from grey
-        cuts propagates to all ancestors.
-        """
-        seen: set[CheckState] = set()
-        on_stack: set[CheckState] = set()
-        tainted: set[CheckState] = set()
+        layer = ProofCoverLayer(self, fh)
+        initial = layer.initial_state(pre)
         assertions: set[FhState] = set()
-        path: list[Statement] = []
-        cache = self.useless_cache
-
-        stack: list[tuple] = [("visit", initial, None, None)]
-        counterexample: tuple[Statement, ...] | None = None
-        ticks = 0
-        while stack:
-            kind, state, letter, parent = stack.pop()
-            ticks += 1
-            if ticks % 128 == 0:
-                self._check_deadline()
-            if kind == "leave":
-                if letter is not None:
-                    path.pop()
-                on_stack.discard(state)
-                q, phi_state, sleep, ctx = state
-                if state in tainted:
-                    if parent is not None:
-                        tainted.add(parent)
-                elif cache is not None:
-                    cache.mark((q, sleep, ctx), phi_state)
-                continue
-            if state in seen:
-                if state in on_stack or state in tainted:
-                    # grey cut (cycle) or known-tainted: parent cannot be
-                    # marked useless based on this child
-                    if parent is not None:
-                        tainted.add(parent)
-                continue
-            q, phi_state, sleep, ctx = state
-            if cache is not None and cache.is_useless((q, sleep, ctx), phi_state):
-                continue
-            seen.add(state)
-            if self.max_states is not None and len(seen) > self.max_states:
-                raise MemoryError("proof check exceeded its state budget")
-            assertions.add(phi_state)
-            if letter is not None:
-                path.append(letter)
-            if self._uncovered(fh, state, post):
-                counterexample = tuple(path)
-                break
-            on_stack.add(state)
-            stack.append(("leave", state, letter, parent))
-            if fh.is_bottom(phi_state):
-                continue
-            for a, nxt in reversed(list(self._successors(fh, state))):
-                stack.append(("visit", nxt, a, state))
-        return CheckOutcome(counterexample, len(seen), len(assertions))
-
-    def _check_deadline(self) -> None:
-        if self.deadline is not None:
-            import time
-
-            if time.perf_counter() > self.deadline:
-                raise CheckDeadlineExceeded()
-
-    @staticmethod
-    def _trace_to(
-        parent: dict[CheckState, tuple[CheckState, Statement]],
-        state: CheckState,
-    ) -> tuple[Statement, ...]:
-        trace: list[Statement] = []
-        while state in parent:
-            state, letter = parent[state]
-            trace.append(letter)
-        trace.reverse()
-        return tuple(trace)
+        engine: WorklistEngine = WorklistEngine(
+            layer.successors,
+            strategy=self.search,
+            max_states=self.max_states,
+            deadline=self.deadline,
+            budget_error=CheckBudgetExceeded,
+            budget_message="proof check exceeded its state budget",
+            deadline_error=CheckDeadlineExceeded,
+            on_discover=lambda state: assertions.add(state[1]),
+            should_expand=lambda state: not layer.is_covered(state),
+            useless=(
+                _UselessHook(self.useless_cache)
+                if self.search == "dfs" and self.useless_cache is not None
+                else None
+            ),
+        )
+        try:
+            result = engine.run(
+                initial, goal=lambda state: self._uncovered(fh, state, post)
+            )
+        finally:
+            self.engine_states_explored += engine.stats.states_explored
+            self.engine_deadline_ticks += engine.stats.deadline_ticks
+        return CheckOutcome(
+            result.trace, result.states_explored, len(assertions)
+        )

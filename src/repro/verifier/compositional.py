@@ -18,7 +18,6 @@ analysis.  :func:`verify_each_thread` runs all the per-thread analyses
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Sequence
 
 from ..core.commutativity import CommutativityRelation

@@ -41,7 +41,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..logic import SolverUnknown
 

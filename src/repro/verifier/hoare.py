@@ -18,7 +18,7 @@ during a proof check is the paper's *proof size* metric.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..lang.statements import Statement
 from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..lang.program import ConcurrentProgram
 from ..lang.statements import Statement
 from ..logic import (
     FALSE,

@@ -15,10 +15,11 @@ import time
 import tracemalloc
 from dataclasses import dataclass
 
+from ..automata.engine import BudgetExceeded
 from ..core.commutativity import CommutativityRelation, ConditionalCommutativity
 from ..core.preference import PreferenceOrder, ThreadUniformOrder
 from ..lang.program import ConcurrentProgram
-from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
+from ..logic import FALSE, Solver, SolverUnknown, TRUE
 from .checkproof import CheckDeadlineExceeded, ProofChecker, UselessStateCache
 from .faults import attach_env_faults
 from .hoare import FloydHoareAutomaton
@@ -70,12 +71,11 @@ def verify(
     attach_env_faults(solver, member=order.name)
 
     started = time.perf_counter()
+    deadline = _deadline_epoch(started, config.time_budget)
     # long individual solver queries must also respect the budget; always
     # assign (even None) so a reused solver starts a fresh deadline epoch
     # and stale budget-limited UNKNOWNs from a previous run cannot leak
-    solver.deadline = (
-        started + config.time_budget if config.time_budget is not None else None
-    )
+    solver.deadline = deadline
     tracking = config.track_memory
     if tracking:
         tracemalloc.start()
@@ -111,11 +111,7 @@ def verify(
         search=config.search,
         useless_cache=cache,
         max_states=config.max_states_per_round,
-        deadline=(
-            started + config.time_budget
-            if config.time_budget is not None
-            else None
-        ),
+        deadline=deadline,
         memoize_commutativity=config.memoize_commutativity,
     )
 
@@ -136,7 +132,7 @@ def verify(
         except CheckDeadlineExceeded:
             result.verdict = Verdict.TIMEOUT
             return finish(result)
-        except (MemoryError, SolverUnknown):
+        except (BudgetExceeded, MemoryError, SolverUnknown):
             result.verdict = Verdict.UNKNOWN
             return finish(result)
         check_done = time.perf_counter()
@@ -219,6 +215,16 @@ def verify(
 
     result.verdict = Verdict.TIMEOUT
     return finish(result)
+
+
+def _deadline_epoch(started: float, time_budget: float | None) -> float | None:
+    """The absolute ``time.perf_counter()`` deadline for a wall budget.
+
+    The one place the epoch arithmetic lives: the solver and the proof
+    checker must share the same instant or a slow round could satisfy one
+    budget while the other has already expired.
+    """
+    return started + time_budget if time_budget is not None else None
 
 
 def _final_state(program: ConcurrentProgram, trace) -> tuple:

@@ -29,6 +29,9 @@ _CSV_FIELDS = (
     "solver_hit_rate",
     "comm_queries",
     "comm_hit_rate",
+    "edge_sort_hit_rate",
+    "engine_deadline_ticks",
+    "useless_cache_hits",
     "failure_reason",
     "attempts",
     "respawns",
@@ -62,6 +65,11 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "comm_hit_rate": (
                     f"{qs.commutativity_hit_rate:.4f}" if qs else ""
                 ),
+                "edge_sort_hit_rate": (
+                    f"{qs.edge_sort_hit_rate:.4f}" if qs else ""
+                ),
+                "engine_deadline_ticks": qs.engine_deadline_ticks if qs else "",
+                "useless_cache_hits": qs.useless_cache_hits if qs else "",
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 from ..lang.statements import Statement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..core.commutativity import ConditionalCommutativity, SemanticCommutativity
     from ..logic import Solver
     from .checkproof import ProofChecker
 
@@ -81,6 +80,12 @@ class QueryStats:
     # proof-checker level (monotone subsumption cache, §7.2)
     comm_subsumption_queries: int = 0
     comm_subsumption_hits: int = 0
+    # worklist-engine level (repro.automata.engine + the layer stack)
+    engine_states_explored: int = 0
+    engine_deadline_ticks: int = 0
+    edge_sort_hits: int = 0
+    edge_sort_misses: int = 0
+    useless_cache_hits: int = 0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -93,6 +98,14 @@ class QueryStats:
             + self.solver_unknown_cache_hits
         )
         return saved / self.solver_sat_queries
+
+    @property
+    def edge_sort_hit_rate(self) -> float:
+        """Fraction of edge-ordering requests served from the (q, ctx) memo."""
+        asked = self.edge_sort_hits + self.edge_sort_misses
+        if not asked:
+            return 0.0
+        return self.edge_sort_hits / asked
 
     @property
     def commutativity_hit_rate(self) -> float:
@@ -133,12 +146,19 @@ class QueryStats:
         if checker is not None:
             out.comm_subsumption_queries = checker.commute_queries
             out.comm_subsumption_hits = checker.commute_subsumption_hits
+            out.engine_states_explored = checker.engine_states_explored
+            out.engine_deadline_ticks = checker.engine_deadline_ticks
+            out.edge_sort_hits = checker.edge_sort_hits
+            out.edge_sort_misses = checker.edge_sort_misses
+            if checker.useless_cache is not None:
+                out.useless_cache_hits = checker.useless_cache.hits
         return out
 
     def as_dict(self) -> dict:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["solver_hit_rate"] = round(self.solver_hit_rate, 4)
         out["commutativity_hit_rate"] = round(self.commutativity_hit_rate, 4)
+        out["edge_sort_hit_rate"] = round(self.edge_sort_hit_rate, 4)
         return out
 
     def summary(self) -> str:
@@ -165,6 +185,12 @@ class QueryStats:
             f"{self.comm_subsumption_queries} proof-sensitive queries, "
             f"{self.comm_subsumption_hits} subsumption hits, "
             f"combined hit rate {self.commutativity_hit_rate:.1%}",
+            "engine:        "
+            f"{self.engine_states_explored} states, "
+            f"{self.engine_deadline_ticks} deadline ticks, "
+            f"edge-sort hit rate {self.edge_sort_hit_rate:.1%} "
+            f"(hits {self.edge_sort_hits}, misses {self.edge_sort_misses}), "
+            f"{self.useless_cache_hits} useless-state hits",
         ]
         return "\n".join(lines)
 

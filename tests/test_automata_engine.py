@@ -1,0 +1,189 @@
+"""Unit tests for the shared worklist engine (repro.automata.engine)."""
+
+import pytest
+
+from repro.automata import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    StateBudgetExceeded,
+    WorklistEngine,
+)
+
+#      0 -a-> 1 -c-> 3
+#      0 -b-> 2 -d-> 3 -e-> 4
+_DAG = {
+    0: [("a", 1), ("b", 2)],
+    1: [("c", 3)],
+    2: [("d", 3)],
+    3: [("e", 4)],
+    4: [],
+}
+
+#      0 -a-> 1 -b-> 2 -c-> 0   (cycle), 2 -d-> 3
+_CYCLE = {
+    0: [("a", 1)],
+    1: [("b", 2)],
+    2: [("c", 0), ("d", 3)],
+    3: [],
+}
+
+
+def _succ(graph):
+    return lambda state: graph[state]
+
+
+class TestStrategies:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="zigzag"):
+            WorklistEngine(_succ(_DAG), strategy="zigzag")
+
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_full_exploration_sees_every_state(self, strategy):
+        engine = WorklistEngine(_succ(_DAG), strategy=strategy)
+        result = engine.run(0)
+        assert result.goal_state is None
+        assert result.trace is None
+        assert result.seen == {0, 1, 2, 3, 4}
+        assert result.states_explored == 5
+        assert engine.stats.states_explored == 5
+
+    def test_bfs_trace_is_shortest(self):
+        # both a·c·e and b·d·e reach 4; BFS must return a length-3 trace
+        result = WorklistEngine(_succ(_DAG), strategy="bfs").run(
+            0, goal=lambda s: s == 4
+        )
+        assert result.goal_state == 4
+        assert result.trace in (("a", "c", "e"), ("b", "d", "e"))
+
+    def test_dfs_trace_follows_the_path(self):
+        result = WorklistEngine(_succ(_CYCLE), strategy="dfs").run(
+            0, goal=lambda s: s == 3
+        )
+        assert result.goal_state == 3
+        assert result.trace == ("a", "b", "d")
+
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_cycle_terminates(self, strategy):
+        result = WorklistEngine(_succ(_CYCLE), strategy=strategy).run(0)
+        assert result.seen == {0, 1, 2, 3}
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_state_budget_raises_typed_memory_error(self, strategy):
+        engine = WorklistEngine(_succ(_DAG), strategy=strategy, max_states=2)
+        with pytest.raises(StateBudgetExceeded):
+            engine.run(0)
+        # the typed hierarchy keeps both historical catch sites working
+        assert issubclass(StateBudgetExceeded, BudgetExceeded)
+        assert issubclass(StateBudgetExceeded, MemoryError)
+
+    def test_custom_budget_error_and_message(self):
+        class Boom(StateBudgetExceeded):
+            pass
+
+        engine = WorklistEngine(
+            _succ(_DAG), max_states=1, budget_error=Boom, budget_message="over"
+        )
+        with pytest.raises(Boom, match="over"):
+            engine.run(0)
+
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_expired_deadline_raises(self, strategy):
+        # deadline in the past + tick interval 1: the first pop must raise
+        engine = WorklistEngine(
+            _succ(_CYCLE), strategy=strategy, deadline=-1.0, tick_interval=1
+        )
+        with pytest.raises(DeadlineExceeded):
+            engine.run(0)
+        assert engine.stats.deadline_ticks >= 1
+        assert not issubclass(DeadlineExceeded, BudgetExceeded)
+
+    def test_deadline_checks_are_tick_batched(self):
+        import time
+
+        engine = WorklistEngine(
+            _succ(_DAG), deadline=time.perf_counter() + 60.0, tick_interval=2
+        )
+        engine.run(0)
+        # 5 pops at interval 2 -> exactly 2 wall-clock reads
+        assert engine.stats.deadline_ticks == 2
+
+
+class TestHooks:
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_on_discover_fires_once_per_state(self, strategy):
+        discovered = []
+        WorklistEngine(
+            _succ(_CYCLE), strategy=strategy, on_discover=discovered.append
+        ).run(0)
+        assert sorted(discovered) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("strategy", ("bfs", "dfs"))
+    def test_should_expand_covers_subtrees(self, strategy):
+        # covering 1 cuts 1's subtree; 3 stays reachable through 2
+        result = WorklistEngine(
+            _succ(_DAG), strategy=strategy, should_expand=lambda s: s != 1
+        ).run(0)
+        assert result.seen == {0, 1, 2, 3, 4}
+        result = WorklistEngine(
+            _succ(_DAG), strategy=strategy, should_expand=lambda s: s not in (1, 2)
+        ).run(0)
+        assert result.seen == {0, 1, 2}
+
+    def test_on_edge_sees_every_generated_edge(self):
+        edges = []
+        WorklistEngine(
+            _succ(_DAG), on_edge=lambda q, a, q2: edges.append((q, a, q2))
+        ).run(0)
+        assert sorted(edges) == [
+            (0, "a", 1),
+            (0, "b", 2),
+            (1, "c", 3),
+            (2, "d", 3),
+            (3, "e", 4),
+        ]
+
+
+class _RecordingHook:
+    def __init__(self, useless=()):
+        self.useless_states = set(useless)
+        self.queries = []
+        self.marked = []
+
+    def is_useless(self, state):
+        self.queries.append(state)
+        return state in self.useless_states
+
+    def mark(self, state):
+        self.marked.append(state)
+
+
+class TestUselessStateHook:
+    def test_prunes_known_useless_subtrees(self):
+        hook = _RecordingHook(useless={1})
+        result = WorklistEngine(
+            _succ(_DAG), strategy="dfs", useless=hook
+        ).run(0)
+        # 1's subtree is cut, but 3 is still reached through 2
+        assert result.seen == {0, 2, 3, 4}
+
+    def test_marks_fully_explored_acyclic_states(self):
+        hook = _RecordingHook()
+        WorklistEngine(_succ(_DAG), strategy="dfs", useless=hook).run(0)
+        assert sorted(hook.marked) == [0, 1, 2, 3, 4]
+
+    def test_grey_cut_taint_blocks_marking_on_cycles(self):
+        hook = _RecordingHook()
+        WorklistEngine(_succ(_CYCLE), strategy="dfs", useless=hook).run(0)
+        # 0, 1, 2 lie on a cycle (their subtrees were cut at the grey
+        # node 0) and must not be recorded; only the acyclic leaf 3 may
+        assert hook.marked == [3]
+
+    def test_goal_short_circuits_before_marking(self):
+        hook = _RecordingHook()
+        result = WorklistEngine(
+            _succ(_DAG), strategy="dfs", useless=hook
+        ).run(0, goal=lambda s: s == 3)
+        assert result.goal_state == 3
+        assert hook.marked == []

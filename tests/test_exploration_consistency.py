@@ -1,0 +1,138 @@
+"""Cross-cutting invariants of the unified exploration stack.
+
+Two families of checks:
+
+* **BFS/DFS equivalence** — whether a proof covers the reduction is a
+  property of the two languages, not of the search order, so the two
+  engine strategies must agree on coverage for any fixed proof, and the
+  full CEGAR loop must reach the same verdict through either.
+* **Layer consistency** — :class:`SleepSetAutomaton` and the proof
+  checker's successor relation are assemblies of the *same* layer stack;
+  with unconditional commutativity and no proof component they must
+  produce identical reductions, edge for edge, in the same order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VerifierConfig, verify
+from repro.benchmarks import mutex
+from repro.core import SleepSetAutomaton, SyntacticCommutativity
+from repro.core.commutativity import ConditionalCommutativity
+from repro.core.preference import RandomOrder, ThreadUniformOrder
+from repro.logic import Solver
+from repro.verifier.checkproof import ProofChecker
+from repro.verifier.hoare import FloydHoareAutomaton
+
+CORPUS = (
+    ("dekker", lambda: mutex.dekker()),
+    ("dekker-buggy", lambda: mutex.dekker(correct=False)),
+    ("readers-writer", lambda: mutex.readers_writer(2)),
+    ("readers-writer-buggy", lambda: mutex.readers_writer(2, correct=False)),
+    ("double-observer", lambda: mutex.double_observer()),
+    ("double-observer-buggy", lambda: mutex.double_observer(correct=False)),
+)
+
+
+def _verify(program, *, search, order=None, mode="combined"):
+    solver = Solver()
+    return verify(
+        program,
+        order or ThreadUniformOrder(),
+        ConditionalCommutativity(solver),
+        VerifierConfig(mode=mode, search=search, max_rounds=40),
+        solver=solver,
+    )
+
+
+class TestBfsDfsEquivalence:
+    @pytest.mark.parametrize(
+        "make", [c[1] for c in CORPUS], ids=[c[0] for c in CORPUS]
+    )
+    def test_same_verdict_on_corpus(self, make):
+        bfs = _verify(make(), search="bfs")
+        dfs = _verify(make(), search="dfs")
+        assert bfs.verdict == dfs.verdict
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_verdict_under_random_orders(self, seed):
+        program = mutex.dekker()
+        order = RandomOrder(program.alphabet(), seed=seed)
+        bfs = _verify(program, search="bfs", order=order)
+        order = RandomOrder(program.alphabet(), seed=seed)
+        dfs = _verify(program, search="dfs", order=order)
+        assert bfs.verdict == dfs.verdict
+
+    @pytest.mark.parametrize("mode", ("combined", "sleep", "persistent"))
+    def test_coverage_of_a_fixed_proof_is_search_independent(self, mode):
+        # coverage is a language property: for one fixed Floyd/Hoare
+        # proof both strategies must agree whether the reduction is
+        # covered — with an adequate proof and with none at all
+        program = mutex.dekker()
+        adequate = _verify(program, search="bfs", mode=mode)
+        assert adequate.verdict.value == "correct"
+        for predicates in ((), adequate.predicates):
+            covered = {}
+            for search in ("bfs", "dfs"):
+                solver = Solver()
+                fh = FloydHoareAutomaton(list(predicates), solver)
+                checker = ProofChecker(
+                    program,
+                    ThreadUniformOrder(),
+                    ConditionalCommutativity(solver),
+                    mode=mode,
+                    search=search,
+                )
+                outcome = checker.check(fh, program.pre, program.post)
+                covered[search] = outcome.covered
+            assert covered["bfs"] == covered["dfs"], (
+                f"strategies disagree on coverage with "
+                f"{len(predicates)} predicates"
+            )
+
+
+class TestLayerConsistency:
+    @pytest.mark.parametrize(
+        "make", [c[1] for c in CORPUS[:4]], ids=[c[0] for c in CORPUS[:4]]
+    )
+    def test_checker_successors_match_sleepset_automaton(self, make):
+        # the proof checker with unconditional commutativity and an
+        # empty proof vocabulary must walk exactly the sleep-set
+        # reduction: same edges, same sleep sets, same order
+        program = make()
+        order = ThreadUniformOrder()
+        commutativity = SyntacticCommutativity()
+        automaton = SleepSetAutomaton(program, order, commutativity)
+        checker = ProofChecker(
+            program, order, commutativity, mode="sleep", search="bfs"
+        )
+        fh = FloydHoareAutomaton([], Solver())
+        phi = fh.initial_state(program.pre)
+
+        start = automaton.initial_state()
+        seen = {start}
+        frontier = [start]
+        compared = 0
+        while frontier:
+            state = frontier.pop()
+            q, sleep, ctx = state
+            expected = list(automaton.successors(state))
+            got = [
+                (a, (q2, s2, c2))
+                for a, (q2, phi2, s2, c2) in checker._successors(
+                    fh, (q, phi, sleep, ctx)
+                )
+            ]
+            if program.is_violation(q):
+                # the checker stops at violations (they are goal states);
+                # the plain reduction automaton walks through them
+                assert got == []
+            else:
+                assert got == expected
+                compared += 1
+            for _a, succ in expected:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        assert compared > 1
