@@ -87,6 +87,33 @@ def _run_guard() -> dict:
     }
 
 
+def test_verdicts_identical_under_interning(benchmark):
+    """Exploration must be bit-identical across intern-kernel states.
+
+    Runs one guard case twice — on the warm process-wide kernel and
+    again after ``compact_kernel(0)`` dropped every derived memo — and
+    requires the exact same verdict, rounds, proof size, per-round state
+    counts, and counterexample, also matching the checked-in baseline.
+    The hash-consing layer and its id-keyed caches are performance-only.
+    """
+    from repro.logic import compact_kernel
+
+    case = (3, "seq", "combined", "bfs")
+
+    def run_twice():
+        warm = _run_case(*case)
+        compact_kernel(0)
+        cold = _run_case(*case)
+        return warm, cold
+
+    warm, cold = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert warm == cold, "exploration depends on intern-kernel cache state"
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert warm == baseline[_case_id(*case)], (
+        "exploration drifted from the checked-in baseline under interning"
+    )
+
+
 def test_states_explored_matches_baseline(benchmark):
     observed = benchmark.pedantic(_run_guard, rounds=1, iterations=1)
     if os.environ.get("REPRO_REGEN_BASELINE"):

@@ -189,7 +189,11 @@ class ConditionalCommutativity:
         self._unconditional = SemanticCommutativity(
             self._solver, memoize=memoize, stats=self.stats
         )
-        self._cache: dict[tuple[Term, int, int], bool] = {}
+        # keyed by (context.nid, uid, uid): the interned node id replaces
+        # the structural key, so a hit never pays a deep compare and the
+        # memo holds no term references (nids are never reused, so an
+        # entry for a dead context is unreachable, never wrong)
+        self._cache: dict[tuple[int, int, int], bool] = {}
         #: bumped by :meth:`note_vocabulary_grown`; consumers holding
         #: derived caches (e.g. the proof checker's subsumption entries)
         #: compare against it to apply the monotone invalidation rule
@@ -230,13 +234,14 @@ class ConditionalCommutativity:
         # projection also folds many distinct assertions onto one cache
         # entry.  See repro.logic.relevance.
         from ..logic.relevance import relevant_context
-        from ..logic import free_vars
 
-        context = relevant_context(phi, free_vars(condition))
-        if context == TRUE:
+        # condition.free_vars is precomputed by the interning kernel —
+        # this hot loop no longer re-walks the composition formula
+        context = relevant_context(phi, condition.free_vars)
+        if context is TRUE:
             return False  # nothing relevant known: same as unconditional
         pair = (a.uid, b.uid) if a.uid < b.uid else (b.uid, a.uid)
-        key = (context,) + pair
+        key = (context.nid,) + pair
         if self._memoize:
             hit = self._cache.get(key)
             if hit is not None:

@@ -299,6 +299,7 @@ def cache_summary(
 ) -> dict:
     """Aggregate cache behaviour over a set of runs (fig7 reporting)."""
     sat = hits = decisions = comm_asked = comm_hits = 0
+    intern_hits = intern_misses = subst_hits = subst_misses = reinterned = 0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
@@ -316,6 +317,13 @@ def cache_summary(
         )
         comm_hits += qs.comm_subsumption_hits + qs.comm_cache_hits
         solver_time += qs.solver_time_seconds
+        intern_hits += qs.intern_hits
+        intern_misses += qs.intern_misses
+        subst_hits += qs.substitute_hits
+        subst_misses += qs.substitute_misses
+        reinterned += qs.reintern_count
+    intern_asked = intern_hits + intern_misses
+    subst_asked = subst_hits + subst_misses
     return {
         "solver_sat_queries": sat,
         "solver_cache_hits": hits,
@@ -325,4 +333,12 @@ def cache_summary(
         "comm_cache_hits": comm_hits,
         "comm_hit_rate": round(comm_hits / comm_asked, 4) if comm_asked else 0.0,
         "solver_time_seconds": round(solver_time, 3),
+        "intern_hits": intern_hits,
+        "intern_hit_rate": (
+            round(intern_hits / intern_asked, 4) if intern_asked else 0.0
+        ),
+        "substitute_hit_rate": (
+            round(subst_hits / subst_asked, 4) if subst_asked else 0.0
+        ),
+        "reintern_count": reinterned,
     }

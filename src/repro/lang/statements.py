@@ -29,7 +29,6 @@ from ..logic import (
     Term,
     and_,
     eliminate_forall,
-    free_vars,
     implies,
     substitute,
     var,
@@ -53,7 +52,10 @@ class Statement:
         uid: globally unique integer; gives a stable default ordering.
     """
 
-    __slots__ = ("thread", "guard", "updates", "choices", "label", "uid")
+    __slots__ = (
+        "thread", "guard", "updates", "choices", "label", "uid",
+        "_read_vars", "_written_vars",
+    )
 
     def __init__(
         self,
@@ -72,6 +74,13 @@ class Statement:
         overlap = set(self.updates) & set(self.choices)
         if overlap:
             raise ValueError(f"choice variables cannot be assigned: {overlap}")
+        # letters are immutable after construction, so the variable
+        # footprint is computed once (commutativity's hottest fast path)
+        self._written_vars = frozenset(self.updates)
+        names: set[str] = set(self.guard.free_vars)
+        for rhs in self.updates.values():
+            names |= rhs.free_vars
+        self._read_vars = frozenset(names) - set(self.choices)
 
     # identity equality and hashing (letters are nominal)
     def __repr__(self) -> str:
@@ -80,18 +89,15 @@ class Statement:
     # -- variable footprint -------------------------------------------------
 
     def written_vars(self) -> frozenset[str]:
-        """Program variables this letter may modify."""
-        return frozenset(self.updates)
+        """Program variables this letter may modify (precomputed)."""
+        return self._written_vars
 
     def read_vars(self) -> frozenset[str]:
         """Program variables this letter reads (guard or right-hand sides)."""
-        names: set[str] = set(free_vars(self.guard))
-        for rhs in self.updates.values():
-            names |= free_vars(rhs)
-        return frozenset(names) - set(self.choices)
+        return self._read_vars
 
     def accessed_vars(self) -> frozenset[str]:
-        return self.read_vars() | self.written_vars()
+        return self._read_vars | self._written_vars
 
     @property
     def is_deterministic(self) -> bool:
@@ -108,10 +114,10 @@ class Statement:
         """
         substituted = substitute(post, self.updates)
         if self.choices:
-            relevant = [c for c in self.choices if c in free_vars(substituted)]
+            relevant = [c for c in self.choices if c in substituted.free_vars]
             substituted = eliminate_forall(relevant, substituted)
             guard = self.guard
-            guard_choices = [c for c in self.choices if c in free_vars(guard)]
+            guard_choices = [c for c in self.choices if c in guard.free_vars]
             if guard_choices:
                 # the statement can fire for ANY admissible choice; wp must
                 # hold for all of them: forall c. guard -> post'
@@ -167,7 +173,7 @@ class Statement:
         with *index*.
         """
         def cur(term: Term) -> Term:
-            mapping = {v: renaming[v] for v in free_vars(term) if v in renaming}
+            mapping = {v: renaming[v] for v in term.free_vars if v in renaming}
             mapping.update(
                 {c: var(f"{c}@{index}") for c in self.choices}
             )

@@ -53,6 +53,11 @@ from .terms import (
     sub,
     substitute,
     var,
+    KERNEL_COMPACT_THRESHOLD,
+    compact_kernel,
+    intern_table_size,
+    kernel_counters,
+    register_kernel_cache,
 )
 from .simplify import drop_redundant_conjuncts, drop_redundant_disjuncts, simplify, simplify_all
 from .solver import Solver, SolverStats, SolverUnknown, default_solver
@@ -69,4 +74,6 @@ __all__ = [
     "AVar", "Select", "Store", "avar", "select", "store",
     "UnsupportedArrayFormula", "ackermannize", "contains_arrays",
     "drop_redundant_conjuncts", "drop_redundant_disjuncts", "simplify", "simplify_all",
+    "KERNEL_COMPACT_THRESHOLD", "compact_kernel", "intern_table_size",
+    "kernel_counters", "register_kernel_cache",
 ]

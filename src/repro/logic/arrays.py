@@ -59,8 +59,26 @@ class UnsupportedArrayFormula(ValueError):
     """Raised for array formulas outside the supported fragment."""
 
 
+_EMPTY_NAMES: frozenset[str] = frozenset()
+
+#: keyed by ``term.nid``; values are name sets (no term references)
+_array_names_cache: dict[int, frozenset[str]] = {}
+
+
 def array_names(term: Term) -> frozenset[str]:
-    """Names of array variables occurring in *term*."""
+    """Names of array variables occurring in *term* (memoized)."""
+    if not term.has_arrays:
+        return _EMPTY_NAMES
+    cached = _array_names_cache.get(term.nid)
+    if cached is not None:
+        return cached
+    result = _array_names_walk(term)
+    if len(_array_names_cache) < 200_000:
+        _array_names_cache[term.nid] = result
+    return result
+
+
+def _array_names_walk(term: Term) -> frozenset[str]:
     out: set[str] = set()
     stack = [term]
     while stack:
@@ -83,21 +101,11 @@ def array_names(term: Term) -> frozenset[str]:
 
 
 def contains_arrays(term: Term) -> bool:
-    """Quick check whether array reasoning is needed at all."""
-    stack = [term]
-    while stack:
-        t = stack.pop()
-        if isinstance(t, (AVar, Select, Store)):
-            return True
-        if isinstance(t, (Add, And, Or)):
-            stack.extend(t.args)
-        elif isinstance(t, (Mul, Not)):
-            stack.append(t.arg)
-        elif isinstance(t, (Le, Eq)):
-            stack.extend((t.lhs, t.rhs))
-        elif isinstance(t, Ite):
-            stack.extend((t.cond, t.then, t.else_))
-    return False
+    """Quick check whether array reasoning is needed at all.
+
+    O(1): the interning kernel precomputes the flag per node.
+    """
+    return term.has_arrays
 
 
 def _is_array_sorted(term: Term) -> bool:

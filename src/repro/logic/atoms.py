@@ -16,6 +16,10 @@ from typing import Mapping
 
 from .terms import Add, Eq, IntConst, Ite, Le, Mul, Term, Var, add, intc, mul, var
 
+#: keyed by ``term.nid`` — identity-keyed thanks to interning; values
+#: are :class:`LinExpr` (no term references), so nothing is pinned
+_linearize_cache: dict[int, "LinExpr"] = {}
+
 
 class LinExpr:
     """A linear expression ``Σ coeffs[x]·x + const`` with integer coefficients.
@@ -96,25 +100,32 @@ class NonLinearError(ValueError):
 
 
 def linearize(term: Term) -> LinExpr:
-    """Convert an integer-sorted term into a :class:`LinExpr`.
+    """Convert an integer-sorted term into a :class:`LinExpr` (memoized).
 
     Raises :class:`NonLinearError` on ``Ite`` nodes and boolean-sorted
     terms; callers must lift those first.
     """
+    cached = _linearize_cache.get(term.nid)
+    if cached is not None:
+        return cached
     if isinstance(term, IntConst):
-        return LinExpr((), term.value)
-    if isinstance(term, Var):
-        return LinExpr(((term.name, 1),), 0)
-    if isinstance(term, Add):
+        result = LinExpr((), term.value)
+    elif isinstance(term, Var):
+        result = LinExpr(((term.name, 1),), 0)
+    elif isinstance(term, Add):
         acc = LinExpr((), 0)
         for a in term.args:
             acc = acc + linearize(a)
-        return acc
-    if isinstance(term, Mul):
-        return linearize(term.arg).scale(term.coeff)
-    if isinstance(term, Ite):
+        result = acc
+    elif isinstance(term, Mul):
+        result = linearize(term.arg).scale(term.coeff)
+    elif isinstance(term, Ite):
         raise NonLinearError(f"ite must be lifted before linearization: {term!r}")
-    raise NonLinearError(f"not an integer-sorted linear term: {term!r}")
+    else:
+        raise NonLinearError(f"not an integer-sorted linear term: {term!r}")
+    if len(_linearize_cache) < 200_000:
+        _linearize_cache[term.nid] = result
+    return result
 
 
 class LinearConstraint:

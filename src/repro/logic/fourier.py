@@ -23,13 +23,16 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from .atoms import LinearConstraint, LinExpr
+from .terms import register_kernel_cache
 
 
 class BranchBudgetExceeded(Exception):
     """Raised when branch-and-bound exceeds its node budget."""
 
 
-_tighten_cache: dict[LinearConstraint, LinearConstraint] = {}
+#: constraint-level, not term-level, but registered with the kernel so
+#: one compaction hook bounds every process-wide memo in the logic stack
+_tighten_cache: dict[LinearConstraint, LinearConstraint] = register_kernel_cache({})
 
 
 def tighten(c: LinearConstraint) -> LinearConstraint:

@@ -21,7 +21,19 @@ from typing import Iterable, Iterator
 from .atoms import LinearConstraint
 from .fourier import fm_project, tighten
 from .solver import lift_ite, to_nnf, _branches, _is_literal
-from .terms import And, BoolConst, FALSE, Or, Term, and_, intc, le, not_, or_
+from .terms import (
+    And,
+    BoolConst,
+    FALSE,
+    Or,
+    Term,
+    and_,
+    intc,
+    le,
+    not_,
+    or_,
+    register_kernel_cache,
+)
 
 
 def _cubes(formula: Term) -> Iterator[tuple[LinearConstraint, ...]]:
@@ -64,6 +76,11 @@ def _constraints_to_term(constraints: Iterable[LinearConstraint]) -> Term:
     return and_(*parts)
 
 
+#: (formula, projected names) -> projection; projection is pure, so the
+#: memo is shared process-wide and registered for kernel compaction
+_exists_cache: dict[tuple[Term, tuple[str, ...]], Term] = register_kernel_cache({})
+
+
 def eliminate_exists(variables: Iterable[str], formula: Term) -> Term:
     """A quantifier-free formula equivalent to ``∃ variables. formula``.
 
@@ -73,6 +90,17 @@ def eliminate_exists(variables: Iterable[str], formula: Term) -> Term:
     names = list(variables)
     if not names:
         return formula
+    key = (formula, tuple(names))
+    hit = _exists_cache.get(key)
+    if hit is not None:
+        return hit
+    result = _eliminate_exists(names, formula)
+    if len(_exists_cache) < 100_000:
+        _exists_cache[key] = result
+    return result
+
+
+def _eliminate_exists(names: list[str], formula: Term) -> Term:
     nnf = to_nnf(lift_ite(formula))
     disjuncts: list[Term] = []
     for cube in _cubes(nnf):

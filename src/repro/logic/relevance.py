@@ -19,7 +19,7 @@ relevant core, multiplies solver cache hits.
 from __future__ import annotations
 
 
-from .terms import And, Term, and_, free_vars
+from .terms import And, Term, and_, register_kernel_cache
 
 
 def conjuncts_of(formula: Term) -> tuple[Term, ...]:
@@ -28,7 +28,9 @@ def conjuncts_of(formula: Term) -> tuple[Term, ...]:
     return (formula,)
 
 
-_context_cache: dict[tuple[Term, frozenset[str]], Term] = {}
+#: keyed by ``(phi.nid, goal_vars)`` — identity-keyed, O(1) lookups; the
+#: values are terms, so the memo is registered for kernel compaction
+_context_cache: dict[tuple[int, frozenset[str]], Term] = register_kernel_cache({})
 
 
 def relevant_context(phi: Term, goal_vars: frozenset[str]) -> Term:
@@ -36,7 +38,7 @@ def relevant_context(phi: Term, goal_vars: frozenset[str]) -> Term:
     parts = conjuncts_of(phi)
     if len(parts) <= 1:
         return phi
-    key = (phi, goal_vars)
+    key = (phi.nid, goal_vars)
     cached = _context_cache.get(key)
     if cached is not None:
         return cached
@@ -47,7 +49,8 @@ def relevant_context(phi: Term, goal_vars: frozenset[str]) -> Term:
 
 
 def _compute_context(parts: tuple[Term, ...], goal_vars: frozenset[str]) -> Term:
-    part_vars = [free_vars(p) for p in parts]
+    # per-node precomputed sets: the hot loop below never re-walks a term
+    part_vars = [p.free_vars for p in parts]
     reached = set(goal_vars)
     selected = [False] * len(parts)
     changed = True

@@ -12,8 +12,18 @@ the input subformula is kept as-is.
 
 from __future__ import annotations
 
+import weakref
+
 from .solver import Solver, SolverUnknown
 from .terms import And, FALSE, Not, Or, TRUE, Term, and_, not_, or_
+
+#: per-solver ``{node: simplified}`` memo.  Keyed weakly by the solver
+#: because the result depends on *that* solver's budget/deadline state
+#: (an UNKNOWN keeps the input as-is); within one solver the interned
+#: node is the key, so repeated predicate cleanups are O(1) per node.
+_simplify_memo: "weakref.WeakKeyDictionary[Solver, dict[Term, Term]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _implied(solver: Solver, context: Term, part: Term) -> bool:
@@ -70,6 +80,19 @@ def simplify(formula: Term, solver: Solver | None = None) -> Term:
     final proof, not for the inner verification loop.
     """
     solver = solver or Solver()
+    memo = _simplify_memo.get(solver)
+    if memo is None:
+        memo = _simplify_memo.setdefault(solver, {})
+    hit = memo.get(formula)
+    if hit is not None:
+        return hit
+    result = _simplify(formula, solver)
+    if len(memo) < 50_000:
+        memo[formula] = result
+    return result
+
+
+def _simplify(formula: Term, solver: Solver) -> Term:
     try:
         if not solver.is_sat(formula):
             return FALSE

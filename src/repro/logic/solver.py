@@ -23,6 +23,7 @@ from dataclasses import dataclass, fields
 
 from .atoms import LinearConstraint, atom_constraints
 from .fourier import BranchBudgetExceeded, integer_model, rationally_feasible
+from .terms import register_kernel_cache
 from .terms import (
     And,
     BoolConst,
@@ -124,12 +125,27 @@ def _replace(term: Term, target: Term, replacement: Term) -> Term:
     return term
 
 
+_lift_ite_cache: dict[Term, Term] = register_kernel_cache({})
+
+
 def lift_ite(formula: Term) -> Term:
     """Rewrite a formula so no atom contains an ``Ite`` node.
 
     An atom ``A[ite(c, t, e)]`` becomes ``(c && A[t]) || (!c && A[e])``.
-    The condition ``c`` is itself recursively lifted.
+    The condition ``c`` is itself recursively lifted.  Memoized
+    process-wide: lifting is pure and terms are interned, so the node is
+    the cache key.
     """
+    hit = _lift_ite_cache.get(formula)
+    if hit is not None:
+        return hit
+    result = _lift_ite(formula)
+    if len(_lift_ite_cache) < 200_000:
+        _lift_ite_cache[formula] = result
+    return result
+
+
+def _lift_ite(formula: Term) -> Term:
     if isinstance(formula, BoolConst):
         return formula
     if isinstance(formula, Not):
@@ -166,8 +182,25 @@ def _rebuild_atom(atom: Term, target: Term, replacement: Term) -> Term:
 # NNF
 # ---------------------------------------------------------------------------
 
+_nnf_cache: dict[tuple[Term, bool], Term] = register_kernel_cache({})
+
+
 def to_nnf(formula: Term, *, negate: bool = False) -> Term:
-    """Negation normal form; negations remain only directly on atoms."""
+    """Negation normal form; negations remain only directly on atoms.
+
+    Memoized process-wide by ``(node, polarity)``.
+    """
+    key = (formula, negate)
+    hit = _nnf_cache.get(key)
+    if hit is not None:
+        return hit
+    result = _to_nnf(formula, negate)
+    if len(_nnf_cache) < 200_000:
+        _nnf_cache[key] = result
+    return result
+
+
+def _to_nnf(formula: Term, negate: bool) -> Term:
     if isinstance(formula, BoolConst):
         return BoolConst(formula.value != negate)
     if isinstance(formula, Not):
@@ -187,7 +220,9 @@ def to_nnf(formula: Term, *, negate: bool = False) -> Term:
 # DPLL-style search
 # ---------------------------------------------------------------------------
 
-_branches_cache: dict[Term, tuple[tuple[LinearConstraint, ...], ...]] = {}
+#: keyed by ``literal.nid`` — the values carry no terms, so the memo
+#: never pins a node; a dead literal's entry is unreachable, never wrong
+_branches_cache: dict[int, tuple[tuple[LinearConstraint, ...], ...]] = {}
 
 
 def _branches(literal: Term) -> tuple[tuple[LinearConstraint, ...], ...]:
@@ -196,7 +231,7 @@ def _branches(literal: Term) -> tuple[tuple[LinearConstraint, ...], ...]:
     Positive ``Le``/``Eq`` yield a single alternative; ``!Eq`` splits
     into the two strict sides.
     """
-    cached = _branches_cache.get(literal)
+    cached = _branches_cache.get(literal.nid)
     if cached is not None:
         return cached
     if isinstance(literal, Le):
@@ -218,7 +253,7 @@ def _branches(literal: Term) -> tuple[tuple[LinearConstraint, ...], ...]:
     else:
         raise TypeError(f"not an NNF literal: {literal!r}")
     if len(_branches_cache) < 200_000:
-        _branches_cache[literal] = result
+        _branches_cache[literal.nid] = result
     return result
 
 
@@ -262,9 +297,12 @@ class Solver:
         self._node_budget = node_budget
         self._enable_cache = enable_cache
         self._nodes_this_query = 0
-        self._sat_cache: dict[Term, bool] = {}
-        self._normal_cache: dict[Term, Term] = {}
-        self._unknown_cache: dict[Term, int] = {}
+        # all three caches key on interned-node ids: hashing is O(1) and
+        # a hit never pays a structural compare; nids are never reused,
+        # so entries for dead nodes are unreachable, never wrong
+        self._sat_cache: dict[int, bool] = {}
+        self._normal_cache: dict[int, tuple[Term, Term]] = {}
+        self._unknown_cache: dict[int, int] = {}
         self._model_pool: list[dict[str, int]] = []
         self.num_queries = 0
         self.stats = SolverStats()
@@ -299,9 +337,9 @@ class Solver:
 
     def _model_pool_hit(self, formula: Term) -> bool:
         """Does some cached model satisfy *formula*? (cheap pre-check)"""
-        from .terms import evaluate, free_vars
+        from .terms import evaluate
 
-        names = free_vars(formula)
+        names = formula.free_vars
         for model in self._model_pool:
             env = {name: model.get(name, 0) for name in names}
             try:
@@ -322,7 +360,7 @@ class Solver:
         vs. disjunction spellings, ...) collapse onto one normalized
         entry.
         """
-        cached = self._normal_cache.get(formula)
+        cached = self._normal_cache.get(formula.nid)
         if cached is not None:
             return cached
         from .arrays import UnsupportedArrayFormula, ackermannize, contains_arrays
@@ -335,7 +373,7 @@ class Solver:
                 raise SolverUnknown(str(exc)) from exc
         result = (expanded, to_nnf(lift_ite(expanded)))
         if len(self._normal_cache) < self._cache_size:
-            self._normal_cache[formula] = result
+            self._normal_cache[formula.nid] = result
         return result
 
     # -- public API ---------------------------------------------------------
@@ -348,11 +386,11 @@ class Solver:
         expanded, nnf = self._normalize(formula)
         if not self._enable_cache:
             return self._decide(nnf, expanded) is not None
-        hit = self._sat_cache.get(nnf)
+        hit = self._sat_cache.get(nnf.nid)
         if hit is not None:
             self.stats.cache_hits += 1
             return hit
-        if self._unknown_cache.get(nnf) == self._deadline_epoch:
+        if self._unknown_cache.get(nnf.nid) == self._deadline_epoch:
             self.stats.unknown_cache_hits += 1
             raise SolverUnknown("cached unknown (same deadline epoch)")
         if self._model_pool_hit(formula):
@@ -361,7 +399,7 @@ class Solver:
         else:
             result = self._decide(nnf, expanded) is not None
         if len(self._sat_cache) < self._cache_size:
-            self._sat_cache[nnf] = result
+            self._sat_cache[nnf.nid] = result
         return result
 
     def is_valid(self, formula: Term) -> bool:
@@ -387,7 +425,7 @@ class Solver:
     def model(self, formula: Term) -> dict[str, int] | None:
         """An integer model of *formula*, or ``None`` if unsatisfiable."""
         expanded, nnf = self._normalize(formula)
-        if self._enable_cache and self._sat_cache.get(nnf) is False:
+        if self._enable_cache and self._sat_cache.get(nnf.nid) is False:
             self.stats.cache_hits += 1
             return None
         return self._decide(nnf, expanded)
@@ -401,7 +439,7 @@ class Solver:
         if self._deadline is not None and time.perf_counter() > self._deadline:
             self.stats.unknowns += 1
             if self._enable_cache and len(self._unknown_cache) < self._cache_size:
-                self._unknown_cache[nnf] = self._deadline_epoch
+                self._unknown_cache[nnf.nid] = self._deadline_epoch
             raise SolverUnknown("solver deadline already expired")
         self._nodes_this_query = 0
         started = time.perf_counter()
@@ -410,7 +448,7 @@ class Solver:
         except (BranchBudgetExceeded, SolverUnknown) as exc:
             self.stats.unknowns += 1
             if self._enable_cache and len(self._unknown_cache) < self._cache_size:
-                self._unknown_cache[nnf] = self._deadline_epoch
+                self._unknown_cache[nnf.nid] = self._deadline_epoch
             if isinstance(exc, SolverUnknown):
                 raise
             raise SolverUnknown(f"budget exceeded for {expanded!r}") from exc
@@ -423,9 +461,7 @@ class Solver:
             return None
         # Unconstrained variables (dropped by trivially-true constraints)
         # still need a value for the model to be total over the formula.
-        from .terms import free_vars
-
-        for name in free_vars(expanded):
+        for name in expanded.free_vars:
             model.setdefault(name, 0)
         if self._enable_cache:
             self._remember_model(model)

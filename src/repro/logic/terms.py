@@ -1,38 +1,167 @@
 """Term language: quantifier-free linear integer arithmetic with booleans.
 
-Terms are immutable, hashable trees.  Construction goes through the smart
-constructors at the bottom of this module (``add``, ``and_``, ``le``, ...),
-which perform light normalization (constant folding, flattening,
-neutral-element removal) so that structurally equal formulas usually
-compare equal.  The full decision procedure lives in
-:mod:`repro.logic.solver`.
+Terms are immutable, *hash-consed* trees: every constructor funnels
+through a global intern table, so two structurally equal terms are the
+same Python object and equality is pointer identity.  Each node carries
+its structural hash, its free-variable set, its node count, and an
+array-occurrence flag, all precomputed at interning time — the caches in
+the solver stack key on nodes (or their ``nid``) in O(1) without ever
+re-walking a subtree.
+
+Construction goes through the smart constructors at the bottom of this
+module (``add``, ``and_``, ``le``, ...), which perform light
+normalization (constant folding, flattening, neutral-element removal);
+direct class construction (``Le(x, y)``) also interns, so the kernel
+invariant — structural equality iff identity — holds for every live
+node.  The full decision procedure lives in :mod:`repro.logic.solver`.
 
 Two sorts exist: ``INT`` and ``BOOL``.  Program variables are ``Var``
 nodes; the convention throughout the code base is that boolean program
 variables are modeled as 0/1 integers by the language front-end, so
 ``Var`` is always of sort ``INT`` while formulas are of sort ``BOOL``.
+
+Pickling goes through :func:`_reintern`, so terms crossing the
+multiprocessing portfolio boundary (see :mod:`repro.verifier.runtime`)
+rejoin the receiving process's intern table instead of silently breaking
+identity.  The table itself holds nodes weakly; the only strong
+references the kernel keeps are the derived memos (``substitute``,
+``rename``, and the caches other modules register via
+:func:`register_kernel_cache`), which :func:`compact_kernel` clears.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import weakref
 from typing import Mapping
+
+
+# ---------------------------------------------------------------------------
+# Kernel state: intern table, node ids, counters, registered memos
+# ---------------------------------------------------------------------------
+
+class KernelStats:
+    """Process-wide cumulative counters for the interning kernel."""
+
+    __slots__ = (
+        "intern_hits",
+        "intern_misses",
+        "reintern_count",
+        "substitute_hits",
+        "substitute_misses",
+        "free_vars_calls",
+        "kernel_compactions",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.intern_hits = 0
+        self.intern_misses = 0
+        self.reintern_count = 0
+        self.substitute_hits = 0
+        self.substitute_misses = 0
+        self.free_vars_calls = 0
+        self.kernel_compactions = 0
+
+
+_stats = KernelStats()
+
+#: structural key -> canonical node; weak values, so a node lives exactly
+#: as long as something outside the table references it
+_table: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
+
+#: monotone, never reused: caches keyed by ``nid`` can outlive the node
+#: they describe without ever producing a wrong hit
+_nid_counter = itertools.count(1)
+
+#: derived memos that hold strong references to terms; compaction clears
+#: them (the weak table then releases any nodes nothing else keeps alive)
+_kernel_caches: list[dict] = []
+
+#: default derived-memo budget before ``verify()`` compacts the kernel
+KERNEL_COMPACT_THRESHOLD = 200_000
+
+
+def register_kernel_cache(cache: dict) -> dict:
+    """Register a term-keyed memo so :func:`compact_kernel` can clear it."""
+    _kernel_caches.append(cache)
+    return cache
+
+
+def intern_table_size() -> int:
+    """The number of live canonical nodes."""
+    return len(_table)
+
+
+def kernel_counters() -> dict[str, int]:
+    """Snapshot of the cumulative kernel counters plus the table size."""
+    return {
+        "intern_hits": _stats.intern_hits,
+        "intern_misses": _stats.intern_misses,
+        "reintern_count": _stats.reintern_count,
+        "substitute_hits": _stats.substitute_hits,
+        "substitute_misses": _stats.substitute_misses,
+        "free_vars_calls": _stats.free_vars_calls,
+        "kernel_compactions": _stats.kernel_compactions,
+        "intern_table_size": len(_table),
+    }
+
+
+def compact_kernel(threshold: int = 0) -> int:
+    """Clear the registered derived memos if they exceed *threshold* entries.
+
+    Called at the ``verify()`` boundary so long portfolio runs do not
+    accumulate term references across independent queries.  Clearing a
+    memo never changes results (all memoized functions are pure) and the
+    intern table itself is weak, so canonicity of live nodes survives.
+    Returns the number of entries dropped (0 if under the threshold).
+    """
+    total = sum(len(cache) for cache in _kernel_caches)
+    if total <= threshold:
+        return 0
+    for cache in _kernel_caches:
+        cache.clear()
+    _stats.kernel_compactions += 1
+    return total
+
+
+_EMPTY_VARS: frozenset[str] = frozenset()
+
+
+def _union_vars(children) -> frozenset[str]:
+    """Union of the children's free-variable sets, sharing when possible."""
+    out = _EMPTY_VARS
+    for child in children:
+        fv = child.free_vars
+        if not fv:
+            continue
+        if not out:
+            out = fv
+        elif not fv <= out:
+            out = out | fv
+    return out
 
 
 class Term:
     """Base class for all term nodes.
 
-    Subclasses are frozen dataclasses; equality and hashing are
-    structural.  ``Term`` instances must never be mutated.
+    Nodes are interned: ``__new__`` on every subclass returns the
+    canonical instance for its structural key, so equality *is* object
+    identity (``__eq__`` is inherited from ``object``) and ``__hash__``
+    returns the precomputed structural hash.  ``Term`` instances must
+    never be mutated after interning.
 
-    Composite nodes precompute their structural hash at construction
-    time (``_hash``): terms are dictionary keys in every cache of the
-    solver stack, and the dataclass-generated hash would re-walk the
-    whole subtree on every lookup.
+    Precomputed per node: ``nid`` (monotone id, never reused),
+    ``free_vars`` (frozenset of variable names), ``size`` (node count),
+    ``has_arrays`` (any ``AVar``/``Select``/``Store`` in the subtree).
     """
 
-    __slots__ = ()
+    __slots__ = ("nid", "_hash", "free_vars", "size", "has_arrays", "__weakref__")
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __and__(self, other: "Term") -> "Term":
         return and_(self, other)
@@ -47,220 +176,418 @@ class Term:
         return implies(self, other)
 
 
-def _cached_hash(self) -> int:
-    return self._hash
+def _finish(node: Term, key: tuple, free: frozenset, size: int, arrays: bool) -> None:
+    node.free_vars = free
+    node.size = size
+    node.has_arrays = arrays
+    node._hash = hash(key)
+    node.nid = next(_nid_counter)
+    _table[key] = node
 
 
-def _set_hash(node: Term, *parts) -> None:
-    object.__setattr__(node, "_hash", hash(parts))
-
-
-@dataclass(frozen=True, slots=True)
 class IntConst(Term):
     """An integer literal."""
 
-    value: int
+    __slots__ = ("value",)
+
+    def __new__(cls, value: int) -> "IntConst":
+        if value.__class__ is not int:
+            value = int(value)
+        key = (1, value)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.value = value
+        _finish(node, key, _EMPTY_VARS, 1, False)
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (1, self.value))
 
     def __repr__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True, slots=True)
 class BoolConst(Term):
     """A boolean literal (``true`` / ``false``)."""
 
-    value: bool
+    __slots__ = ("value",)
+
+    def __new__(cls, value: bool) -> "BoolConst":
+        if value.__class__ is not bool:
+            value = bool(value)
+        key = (0, value)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.value = value
+        _finish(node, key, _EMPTY_VARS, 1, False)
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (0, self.value))
 
     def __repr__(self) -> str:
         return "true" if self.value else "false"
 
 
-@dataclass(frozen=True, slots=True)
 class Var(Term):
     """An integer-sorted variable, identified by name."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Var":
+        key = (2, name)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.name = name
+        _finish(node, key, frozenset((name,)), 1, False)
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (2, self.name))
 
     def __repr__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
 class Add(Term):
     """N-ary integer addition."""
 
-    args: tuple[Term, ...]
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("args",)
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 3, self.args)
+    def __new__(cls, args: tuple) -> "Add":
+        key = (3, args)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.args = args
+        size = 1
+        arrays = False
+        for a in args:
+            size += a.size
+            arrays |= a.has_arrays
+        _finish(node, key, _union_vars(args), size, arrays)
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (3, self.args))
 
     def __repr__(self) -> str:
         return "(" + " + ".join(map(repr, self.args)) + ")"
 
 
-@dataclass(frozen=True, slots=True)
 class Mul(Term):
     """Multiplication of a term by an integer coefficient (linear only)."""
 
-    coeff: int
-    arg: Term
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("coeff", "arg")
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 5, self.coeff, self.arg)
+    def __new__(cls, coeff: int, arg: Term) -> "Mul":
+        if coeff.__class__ is not int:
+            coeff = int(coeff)
+        key = (5, coeff, arg)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.coeff = coeff
+        node.arg = arg
+        _finish(node, key, arg.free_vars, 1 + arg.size, arg.has_arrays)
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (5, self.coeff, self.arg))
 
     def __repr__(self) -> str:
         return f"{self.coeff}*{self.arg!r}"
 
 
-@dataclass(frozen=True, slots=True)
 class Ite(Term):
     """Integer-sorted if-then-else."""
 
-    cond: Term
-    then: Term
-    else_: Term
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("cond", "then", "else_")
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 7, self.cond, self.then, self.else_)
+    def __new__(cls, cond: Term, then: Term, else_: Term) -> "Ite":
+        key = (7, cond, then, else_)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.cond = cond
+        node.then = then
+        node.else_ = else_
+        _finish(
+            node,
+            key,
+            _union_vars((cond, then, else_)),
+            1 + cond.size + then.size + else_.size,
+            cond.has_arrays or then.has_arrays or else_.has_arrays,
+        )
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (7, self.cond, self.then, self.else_))
 
     def __repr__(self) -> str:
         return f"ite({self.cond!r}, {self.then!r}, {self.else_!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class AVar(Term):
     """An array-sorted variable (int -> int); models the heap (§8)."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "AVar":
+        key = (8, name)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.name = name
+        _finish(node, key, frozenset((name,)), 1, True)
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (8, self.name))
 
     def __repr__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
 class Select(Term):
     """Array read ``array[index]`` (int-sorted)."""
 
-    array: Term
-    index: Term
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("array", "index")
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 11, self.array, self.index)
+    def __new__(cls, array: Term, index: Term) -> "Select":
+        key = (11, array, index)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.array = array
+        node.index = index
+        _finish(
+            node,
+            key,
+            _union_vars((array, index)),
+            1 + array.size + index.size,
+            True,
+        )
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (11, self.array, self.index))
 
     def __repr__(self) -> str:
         return f"{self.array!r}[{self.index!r}]"
 
 
-@dataclass(frozen=True, slots=True)
 class Store(Term):
     """Array write ``array[index := value]`` (array-sorted)."""
 
-    array: Term
-    index: Term
-    value: Term
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("array", "index", "value")
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 13, self.array, self.index, self.value)
+    def __new__(cls, array: Term, index: Term, value: Term) -> "Store":
+        key = (13, array, index, value)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.array = array
+        node.index = index
+        node.value = value
+        _finish(
+            node,
+            key,
+            _union_vars((array, index, value)),
+            1 + array.size + index.size + value.size,
+            True,
+        )
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (13, self.array, self.index, self.value))
 
     def __repr__(self) -> str:
         return f"{self.array!r}[{self.index!r} := {self.value!r}]"
 
 
-@dataclass(frozen=True, slots=True)
-class Le(Term):
+class _BinAtom(Term):
+    """Shared interning machinery for the two binary atoms."""
+
+    __slots__ = ("lhs", "rhs")
+    _TAG = 0
+
+    def __new__(cls, lhs: Term, rhs: Term):
+        key = (cls._TAG, lhs, rhs)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.lhs = lhs
+        node.rhs = rhs
+        _finish(
+            node,
+            key,
+            _union_vars((lhs, rhs)),
+            1 + lhs.size + rhs.size,
+            lhs.has_arrays or rhs.has_arrays,
+        )
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (self._TAG, self.lhs, self.rhs))
+
+
+class Le(_BinAtom):
     """Atom ``lhs <= rhs`` over integer terms."""
 
-    lhs: Term
-    rhs: Term
-    _hash: int = field(init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        _set_hash(self, 17, self.lhs, self.rhs)
-
-    __hash__ = _cached_hash
+    __slots__ = ()
+    _TAG = 17
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} <= {self.rhs!r})"
 
 
-@dataclass(frozen=True, slots=True)
-class Eq(Term):
+class Eq(_BinAtom):
     """Atom ``lhs == rhs`` over integer terms."""
 
-    lhs: Term
-    rhs: Term
-    _hash: int = field(init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        _set_hash(self, 19, self.lhs, self.rhs)
-
-    __hash__ = _cached_hash
+    __slots__ = ()
+    _TAG = 19
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} == {self.rhs!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Not(Term):
-    arg: Term
-    _hash: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("arg",)
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 23, self.arg)
+    def __new__(cls, arg: Term) -> "Not":
+        key = (23, arg)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.arg = arg
+        _finish(node, key, arg.free_vars, 1 + arg.size, arg.has_arrays)
+        return node
 
-    __hash__ = _cached_hash
+    def __reduce__(self):
+        return (_reintern, (23, self.arg))
 
     def __repr__(self) -> str:
         return f"!{self.arg!r}"
 
 
-@dataclass(frozen=True, slots=True)
-class And(Term):
-    args: tuple[Term, ...]
-    _hash: int = field(init=False, repr=False, compare=False)
+class _NaryBool(Term):
+    """Shared interning machinery for the n-ary connectives."""
 
-    def __post_init__(self) -> None:
-        _set_hash(self, 29, self.args)
+    __slots__ = ("args",)
+    _TAG = 0
 
-    __hash__ = _cached_hash
+    def __new__(cls, args: tuple):
+        key = (cls._TAG, args)
+        node = _table.get(key)
+        if node is not None:
+            _stats.intern_hits += 1
+            return node
+        _stats.intern_misses += 1
+        node = object.__new__(cls)
+        node.args = args
+        size = 1
+        arrays = False
+        for a in args:
+            size += a.size
+            arrays |= a.has_arrays
+        _finish(node, key, _union_vars(args), size, arrays)
+        return node
+
+    def __reduce__(self):
+        return (_reintern, (self._TAG, self.args))
+
+
+class And(_NaryBool):
+    __slots__ = ()
+    _TAG = 29
 
     def __repr__(self) -> str:
         return "(" + " && ".join(map(repr, self.args)) + ")"
 
 
-@dataclass(frozen=True, slots=True)
-class Or(Term):
-    args: tuple[Term, ...]
-    _hash: int = field(init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        _set_hash(self, 31, self.args)
-
-    __hash__ = _cached_hash
+class Or(_NaryBool):
+    __slots__ = ()
+    _TAG = 31
 
     def __repr__(self) -> str:
         return "(" + " || ".join(map(repr, self.args)) + ")"
+
+
+#: pickle tag -> constructor; :func:`_reintern` routes unpickled nodes
+#: back through ``__new__`` so they land in this process's intern table
+_NODE_TYPES: dict[int, type] = {
+    0: BoolConst,
+    1: IntConst,
+    2: Var,
+    3: Add,
+    5: Mul,
+    7: Ite,
+    8: AVar,
+    11: Select,
+    13: Store,
+    17: Le,
+    19: Eq,
+    23: Not,
+    29: And,
+    31: Or,
+}
+
+
+def _reintern(tag: int, *fields) -> Term:
+    """Pickle/deepcopy hook: rebuild through the interner.
+
+    Child terms in *fields* have already been re-interned by their own
+    ``__reduce__`` round-trips, so the constructor call below is a plain
+    table lookup whenever the structure already exists in this process.
+    """
+    _stats.reintern_count += 1
+    return _NODE_TYPES[tag](*fields)
 
 
 TRUE = BoolConst(True)
 FALSE = BoolConst(False)
 ZERO = IntConst(0)
 ONE = IntConst(1)
+
+#: strongly held so the hottest constants never churn through the weak table
+_SMALL_INTS = tuple(IntConst(v) for v in range(-64, 257))
 
 
 # ---------------------------------------------------------------------------
@@ -269,7 +596,7 @@ ONE = IntConst(1)
 
 def intc(value: int) -> IntConst:
     """Integer constant."""
-    return IntConst(int(value))
+    return IntConst(value)
 
 
 def boolc(value: bool) -> BoolConst:
@@ -330,7 +657,7 @@ def neg(arg: Term) -> Term:
 def ite(cond: Term, then: Term, else_: Term) -> Term:
     if isinstance(cond, BoolConst):
         return then if cond.value else else_
-    if then == else_:
+    if then is else_:
         return then
     return Ite(cond, then, else_)
 
@@ -348,9 +675,9 @@ def select(array: Term, index: Term) -> Term:
     """
     if isinstance(array, Store):
         same = eq(array.index, index)
-        if same == TRUE:
+        if same is TRUE:
             return array.value
-        if same == FALSE:
+        if same is FALSE:
             return select(array.array, index)
         return ite(same, array.value, select(array.array, index))
     return Select(array, index)
@@ -358,7 +685,7 @@ def select(array: Term, index: Term) -> Term:
 
 def store(array: Term, index: Term, value: Term) -> Term:
     """Array write; consecutive writes to the same index collapse."""
-    if isinstance(array, Store) and array.index == index:
+    if isinstance(array, Store) and array.index is index:
         return Store(array.array, index, value)
     return Store(array, index, value)
 
@@ -384,7 +711,7 @@ def gt(lhs: Term, rhs: Term) -> Term:
 
 
 def eq(lhs: Term, rhs: Term) -> Term:
-    if lhs == rhs:
+    if lhs is rhs:
         return TRUE
     diff = sub(lhs, rhs)
     if isinstance(diff, IntConst):
@@ -409,9 +736,9 @@ def and_(*args: Term) -> Term:
     for a in args:
         if isinstance(a, And):
             flat.extend(a.args)
-        elif a == TRUE:
+        elif a is TRUE:
             pass
-        elif a == FALSE:
+        elif a is FALSE:
             return FALSE
         else:
             flat.append(a)
@@ -433,9 +760,9 @@ def or_(*args: Term) -> Term:
     for a in args:
         if isinstance(a, Or):
             flat.extend(a.args)
-        elif a == FALSE:
+        elif a is FALSE:
             pass
-        elif a == TRUE:
+        elif a is TRUE:
             return TRUE
         else:
             flat.append(a)
@@ -464,92 +791,57 @@ def iff(lhs: Term, rhs: Term) -> Term:
 # Traversals
 # ---------------------------------------------------------------------------
 
-_free_vars_cache: dict[Term, frozenset[str]] = {}
-
-
 def free_vars(term: Term) -> frozenset[str]:
-    """The set of variable names occurring in *term* (memoized)."""
-    cached = _free_vars_cache.get(term)
-    if cached is not None:
-        return cached
-    result = _free_vars_uncached(term)
-    if len(_free_vars_cache) < 500_000:
-        _free_vars_cache[term] = result
-    return result
+    """The set of variable names occurring in *term*.
 
-
-def _free_vars_uncached(term: Term) -> frozenset[str]:
-    out: set[str] = set()
-    stack = [term]
-    while stack:
-        t = stack.pop()
-        if isinstance(t, (Var, AVar)):
-            out.add(t.name)
-        elif isinstance(t, (IntConst, BoolConst)):
-            pass
-        elif isinstance(t, (Add, And, Or)):
-            stack.extend(t.args)
-        elif isinstance(t, Mul):
-            stack.append(t.arg)
-        elif isinstance(t, Not):
-            stack.append(t.arg)
-        elif isinstance(t, (Le, Eq)):
-            stack.append(t.lhs)
-            stack.append(t.rhs)
-        elif isinstance(t, Ite):
-            stack.extend((t.cond, t.then, t.else_))
-        elif isinstance(t, Select):
-            stack.extend((t.array, t.index))
-        elif isinstance(t, Store):
-            stack.extend((t.array, t.index, t.value))
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown term node: {t!r}")
-    return frozenset(out)
-
-
-_node_count_cache: dict[Term, int] = {}
+    Precomputed per node at interning time; every call is O(1).  Hot
+    loops read ``term.free_vars`` directly.
+    """
+    _stats.free_vars_calls += 1
+    return term.free_vars
 
 
 def node_count(term: Term) -> int:
-    """The number of nodes in *term*'s tree (memoized; query-size metric)."""
-    cached = _node_count_cache.get(term)
-    if cached is not None:
-        return cached
-    if isinstance(term, (Var, AVar, IntConst, BoolConst)):
-        return 1
-    if isinstance(term, (Add, And, Or)):
-        result = 1 + sum(node_count(a) for a in term.args)
-    elif isinstance(term, (Mul, Not)):
-        result = 1 + node_count(term.arg)
-    elif isinstance(term, (Le, Eq)):
-        result = 1 + node_count(term.lhs) + node_count(term.rhs)
-    elif isinstance(term, Ite):
-        result = 1 + node_count(term.cond) + node_count(term.then) + node_count(term.else_)
-    elif isinstance(term, Select):
-        result = 1 + node_count(term.array) + node_count(term.index)
-    elif isinstance(term, Store):
-        result = 1 + node_count(term.array) + node_count(term.index) + node_count(term.value)
-    else:  # pragma: no cover - defensive
-        raise TypeError(f"unknown term node: {term!r}")
-    if len(_node_count_cache) < 500_000:
-        _node_count_cache[term] = result
-    return result
+    """The number of nodes in *term*'s tree (precomputed; query-size metric)."""
+    return term.size
+
+
+_SUBSTITUTE_MEMO_LIMIT = 500_000
+_substitute_memo: dict[tuple, Term] = register_kernel_cache({})
+
+
+def _mapping_key(mapping: Mapping[str, Term]) -> tuple:
+    # names are unique within a mapping, so sorting never compares terms
+    return tuple(sorted(mapping.items()))
 
 
 def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
     """Simultaneously substitute variables by terms.
 
-    Substitution rebuilds the tree through the smart constructors, so the
-    result is normalized (e.g. constants fold away).
+    Substitution rebuilds the tree through the smart constructors, so
+    the result is normalized (e.g. constants fold away).  Subtrees whose
+    precomputed ``free_vars`` are disjoint from the mapping are returned
+    as-is (rebuilding a canonical node is the identity), and results are
+    memoized process-wide by ``(node, mapping)``.
     """
     if not mapping:
         return term
-    cache: dict[Term, Term] = {}
+    keys = mapping.keys()
+    if term.free_vars.isdisjoint(keys):
+        _stats.substitute_hits += 1
+        return term
+    mkey = _mapping_key(mapping)
+    memo = _substitute_memo
 
     def go(t: Term) -> Term:
-        hit = cache.get(t)
+        if t.free_vars.isdisjoint(keys):
+            return t
+        k = (t, mkey)
+        hit = memo.get(k)
         if hit is not None:
+            _stats.substitute_hits += 1
             return hit
+        _stats.substitute_misses += 1
         if isinstance(t, Var):
             out = mapping.get(t.name, t)
         elif isinstance(t, AVar):
@@ -558,8 +850,6 @@ def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
             out = select(go(t.array), go(t.index))
         elif isinstance(t, Store):
             out = store(go(t.array), go(t.index), go(t.value))
-        elif isinstance(t, (IntConst, BoolConst)):
-            out = t
         elif isinstance(t, Add):
             out = add(*(go(a) for a in t.args))
         elif isinstance(t, Mul):
@@ -578,15 +868,30 @@ def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
             out = ite(go(t.cond), go(t.then), go(t.else_))
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown term node: {t!r}")
-        cache[t] = out
+        if len(memo) < _SUBSTITUTE_MEMO_LIMIT:
+            memo[k] = out
         return out
 
     return go(term)
 
 
+_rename_maps: dict[tuple, dict[str, Var]] = register_kernel_cache({})
+
+
 def rename(term: Term, mapping: Mapping[str, str]) -> Term:
-    """Substitute variables by variables."""
-    return substitute(term, {k: Var(v) for k, v in mapping.items()})
+    """Substitute variables by variables.
+
+    The name->``Var`` dictionary is memoized per renaming, so repeated
+    SSA passes reuse both the interned ``Var`` nodes and the mapping
+    object itself.
+    """
+    key = tuple(sorted(mapping.items()))
+    var_map = _rename_maps.get(key)
+    if var_map is None:
+        var_map = {k: Var(v) for k, v in mapping.items()}
+        if len(_rename_maps) < 10_000:
+            _rename_maps[key] = var_map
+    return substitute(term, var_map)
 
 
 def evaluate(term: Term, env: Mapping[str, int]):

@@ -35,7 +35,9 @@ class FloydHoareAutomaton:
         self._solver = solver
         self._predicates: list[Term] = []
         self._pred_index: dict[Term, int] = {}
-        self._triple_cache: dict[tuple[Term, int, int], bool] = {}
+        # (context.nid, letter.uid, pred_index): identity-keyed — a hit
+        # never pays a structural compare, and the memo pins no terms
+        self._triple_cache: dict[tuple[int, int, int], bool] = {}
         self._wp_cache: dict[tuple[int, int], Term] = {}
         self._assertion_cache: dict[FhState, Term] = {}
         self._step_cache: dict[tuple[FhState, int], FhState] = {}
@@ -126,11 +128,10 @@ class FloydHoareAutomaton:
         if wp is None:
             wp = letter.wp(self._predicates[pred_index])
             self._wp_cache[(letter.uid, pred_index)] = wp
-        from ..logic import free_vars
         from ..logic.relevance import relevant_context
 
-        context = relevant_context(phi, free_vars(wp))
-        key = (context, letter.uid, pred_index)
+        context = relevant_context(phi, wp.free_vars)
+        key = (context.nid, letter.uid, pred_index)
         cached = self._triple_cache.get(key)
         if cached is not None:
             return cached
@@ -139,9 +140,7 @@ class FloydHoareAutomaton:
         return result
 
     def _pred_vars(self, index: int) -> frozenset[str]:
-        from ..logic import free_vars
-
-        return free_vars(self._predicates[index])
+        return self._predicates[index].free_vars
 
     def entails(self, state: FhState, formula: Term) -> bool:
         """Does this state's assertion entail *formula*? (conservative)"""

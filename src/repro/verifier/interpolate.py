@@ -23,7 +23,6 @@ from ..logic import (
     TRUE,
     Term,
     and_,
-    free_vars,
     not_,
     substitute,
     var,
@@ -43,7 +42,7 @@ def path_formula(
     from ..logic.arrays import array_names
     from ..logic import avar
 
-    names: set[str] = set(free_vars(pre))
+    names: set[str] = set(pre.free_vars)
     arrays: set[str] = set(array_names(pre))
     for s in trace:
         names |= s.accessed_vars()

@@ -19,7 +19,15 @@ from ..automata.engine import BudgetExceeded
 from ..core.commutativity import CommutativityRelation, ConditionalCommutativity
 from ..core.preference import PreferenceOrder, ThreadUniformOrder
 from ..lang.program import ConcurrentProgram
-from ..logic import FALSE, Solver, SolverUnknown, TRUE
+from ..logic import (
+    FALSE,
+    KERNEL_COMPACT_THRESHOLD,
+    Solver,
+    SolverUnknown,
+    TRUE,
+    compact_kernel,
+    kernel_counters,
+)
 from .checkproof import CheckDeadlineExceeded, ProofChecker, UselessStateCache
 from .faults import attach_env_faults
 from .hoare import FloydHoareAutomaton
@@ -71,6 +79,9 @@ def verify(
     attach_env_faults(solver, member=order.name)
 
     started = time.perf_counter()
+    # the kernel counters are process-wide; snapshot them so this run's
+    # query_stats report the per-run delta, not the process cumulative
+    kernel_baseline = kernel_counters()
     deadline = _deadline_epoch(started, config.time_budget)
     # long individual solver queries must also respect the budget; always
     # assign (even None) so a reused solver starts a fresh deadline epoch
@@ -88,7 +99,14 @@ def verify(
         # the vocabulary size is meaningful on every exit path, including
         # TIMEOUT/UNKNOWN (how far refinement got before giving up)
         result.num_predicates = len(fh.predicates)
-        result.query_stats = QueryStats.collect(solver, commutativity, checker)
+        result.query_stats = QueryStats.collect(
+            solver, commutativity, checker, kernel_baseline=kernel_baseline
+        )
+        # verify() boundary is the kernel's compaction point: clear the
+        # process-wide derived memos once they outgrow their budget so
+        # long portfolio runs do not leak term references across
+        # independent queries (the intern table itself is weak)
+        compact_kernel(KERNEL_COMPACT_THRESHOLD)
         # degradation flag from a DegradingCommutativity (runtime policy)
         if getattr(commutativity, "degraded", False):
             result.degraded = True

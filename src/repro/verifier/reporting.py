@@ -32,6 +32,9 @@ _CSV_FIELDS = (
     "edge_sort_hit_rate",
     "engine_deadline_ticks",
     "useless_cache_hits",
+    "intern_hit_rate",
+    "substitute_hit_rate",
+    "reintern_count",
     "failure_reason",
     "attempts",
     "respawns",
@@ -70,6 +73,11 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 ),
                 "engine_deadline_ticks": qs.engine_deadline_ticks if qs else "",
                 "useless_cache_hits": qs.useless_cache_hits if qs else "",
+                "intern_hit_rate": f"{qs.intern_hit_rate:.4f}" if qs else "",
+                "substitute_hit_rate": (
+                    f"{qs.substitute_hit_rate:.4f}" if qs else ""
+                ),
+                "reintern_count": qs.reintern_count if qs else "",
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

@@ -247,6 +247,7 @@ def run_parallel_portfolio(
     ``ERROR``, or a cancelled ``UNKNOWN`` once a winner emerged.
     """
     from .portfolio import PortfolioResult, standard_orders
+    from ..logic import kernel_counters
 
     config = config or VerifierConfig()
     retry = retry or RetryPolicy()
@@ -254,6 +255,11 @@ def run_parallel_portfolio(
         fault_plan = FaultPlan.from_env()
     ctx = _default_context()
     started = time.perf_counter()
+    # terms crossing the worker→parent pipe re-intern into this process's
+    # table via Term.__reduce__; snapshot the counter so the winner's
+    # query_stats can report the parent-side share (the worker-side delta
+    # it carries reflects the *worker* process, which saw none)
+    reintern_baseline = kernel_counters()["reintern_count"]
     members = [_Member(order=o) for o in standard_orders(program, seeds)]
     outcome = PortfolioResult(program_name=program.name, strategy="parallel")
 
@@ -454,4 +460,14 @@ def run_parallel_portfolio(
 
     outcome.members = [m.final for m in members]
     outcome.wall_seconds = time.perf_counter() - started
+    # attribute parent-side re-interning (deserialized predicates,
+    # counterexample guards, ...) to the reported stats: prefer the
+    # winner, else the first member that carried query_stats across
+    reintern_delta = kernel_counters()["reintern_count"] - reintern_baseline
+    if reintern_delta:
+        carriers = [winner] if winner is not None else outcome.members
+        for result in carriers:
+            if result is not None and result.query_stats is not None:
+                result.query_stats.reintern_count += reintern_delta
+                break
     return outcome

@@ -86,6 +86,19 @@ class QueryStats:
     edge_sort_hits: int = 0
     edge_sort_misses: int = 0
     useless_cache_hits: int = 0
+    # term-kernel level (repro.logic.terms interning kernel); counters
+    # are deltas over the run when a baseline snapshot is supplied to
+    # :meth:`collect`, otherwise process-cumulative.  ``reintern_count``
+    # is the number of nodes rebuilt through the pickle hook (portfolio
+    # workers / parent-side result deserialization).
+    intern_hits: int = 0
+    intern_misses: int = 0
+    intern_table_size: int = 0
+    reintern_count: int = 0
+    substitute_hits: int = 0
+    substitute_misses: int = 0
+    free_vars_calls: int = 0
+    kernel_compactions: int = 0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -117,15 +130,64 @@ class QueryStats:
             return 0.0
         return (self.comm_subsumption_hits + self.comm_cache_hits) / asked
 
+    @property
+    def intern_hit_rate(self) -> float:
+        """Fraction of constructor calls answered from the intern table."""
+        asked = self.intern_hits + self.intern_misses
+        if not asked:
+            return 0.0
+        return self.intern_hits / asked
+
+    @property
+    def substitute_hit_rate(self) -> float:
+        """Fraction of substitution nodes served from the kernel memo."""
+        asked = self.substitute_hits + self.substitute_misses
+        if not asked:
+            return 0.0
+        return self.substitute_hits / asked
+
+    @property
+    def free_vars_hit_rate(self) -> float:
+        """Always 1.0 once called: ``free_vars`` is precomputed per node."""
+        return 1.0 if self.free_vars_calls else 0.0
+
     @classmethod
     def collect(
         cls,
         solver: "Solver | None" = None,
         commutativity=None,
         checker: "ProofChecker | None" = None,
+        kernel_baseline: dict | None = None,
     ) -> "QueryStats":
-        """Snapshot counters from the run's collaborators."""
+        """Snapshot counters from the run's collaborators.
+
+        *kernel_baseline* is a :func:`repro.logic.kernel_counters`
+        snapshot taken at the start of the run; the term-kernel fields
+        are reported as the delta against it (the kernel counters are
+        process-wide, so the diff isolates this run's share).  Without a
+        baseline the cumulative values are reported.
+        """
+        from ..logic import kernel_counters
+
         out = cls()
+        now = kernel_counters()
+        base = kernel_baseline or {}
+        out.intern_hits = now["intern_hits"] - base.get("intern_hits", 0)
+        out.intern_misses = now["intern_misses"] - base.get("intern_misses", 0)
+        out.reintern_count = now["reintern_count"] - base.get("reintern_count", 0)
+        out.substitute_hits = (
+            now["substitute_hits"] - base.get("substitute_hits", 0)
+        )
+        out.substitute_misses = (
+            now["substitute_misses"] - base.get("substitute_misses", 0)
+        )
+        out.free_vars_calls = (
+            now["free_vars_calls"] - base.get("free_vars_calls", 0)
+        )
+        out.kernel_compactions = (
+            now["kernel_compactions"] - base.get("kernel_compactions", 0)
+        )
+        out.intern_table_size = now["intern_table_size"]  # absolute
         if solver is not None and hasattr(solver, "stats"):
             s = solver.stats
             out.solver_sat_queries = s.sat_queries
@@ -159,6 +221,9 @@ class QueryStats:
         out["solver_hit_rate"] = round(self.solver_hit_rate, 4)
         out["commutativity_hit_rate"] = round(self.commutativity_hit_rate, 4)
         out["edge_sort_hit_rate"] = round(self.edge_sort_hit_rate, 4)
+        out["intern_hit_rate"] = round(self.intern_hit_rate, 4)
+        out["substitute_hit_rate"] = round(self.substitute_hit_rate, 4)
+        out["free_vars_hit_rate"] = round(self.free_vars_hit_rate, 4)
         return out
 
     def summary(self) -> str:
@@ -191,6 +256,13 @@ class QueryStats:
             f"edge-sort hit rate {self.edge_sort_hit_rate:.1%} "
             f"(hits {self.edge_sort_hits}, misses {self.edge_sort_misses}), "
             f"{self.useless_cache_hits} useless-state hits",
+            "term kernel:   "
+            f"intern hit rate {self.intern_hit_rate:.1%} "
+            f"(hits {self.intern_hits}, misses {self.intern_misses}), "
+            f"table size {self.intern_table_size}, "
+            f"substitute hit rate {self.substitute_hit_rate:.1%}, "
+            f"{self.free_vars_calls} free_vars calls (precomputed), "
+            f"{self.reintern_count} re-interned",
         ]
         return "\n".join(lines)
 
