@@ -4,12 +4,50 @@ For every benchmark solved by both tools, one point (Automizer value,
 GemCutter value); correct programs are '+', incorrect 'x' in the paper.
 Shape: points on or below the diagonal, with reductions up to large
 factors for rounds and proof size.
+
+Besides the scatter, the run appends a machine-readable trajectory
+entry to ``benchmarks/BENCH_fig7.json``: the end-to-end wall of this
+A/B pass next to the recorded walls of earlier optimisation PRs (all at
+``REPRO_BUDGET=10``), so performance drift is a one-file diff.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from repro.benchmarks import all_benchmarks
-from repro.harness import cache_summary, emit, emit_json, run_cached, _log_progress
+from repro.harness import (
+    atomic_write_text,
+    cache_summary,
+    emit,
+    emit_json,
+    run_cached,
+    _log_progress,
+)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_fig7.json"
+
+#: recorded end-to-end walls of this A/B pass at REPRO_BUDGET=10,
+#: one entry per optimisation PR (measured on the reference CI box)
+_HISTORY = [
+    {"pr": "seed", "wall_seconds": 608.6},
+    {"pr": "PR1 solver+commutativity caches", "wall_seconds": 519.8},
+    {"pr": "PR3 unified exploration stack", "wall_seconds": 508.5},
+    {"pr": "PR4 hash-consed term kernel", "wall_seconds": 443.4},
+]
+
+
+def _emit_trajectory(wall: float, caches: dict) -> None:
+    entry = {
+        "pr": "PR5 incremental CEGAR rounds",
+        "wall_seconds": round(wall, 1),
+        "budget_seconds": float(os.environ.get("REPRO_BUDGET", "20")),
+        "fh_step_delta_hits": caches["fh_step_delta_hits"],
+        "warm_start_reused": caches["warm_start_reused"],
+    }
+    payload = {"trajectory": [*_HISTORY, entry]}
+    atomic_write_text(TRAJECTORY_PATH, json.dumps(payload, indent=2) + "\n")
 
 
 def _run():
@@ -30,12 +68,16 @@ def _run():
                 }
             )
     caches = cache_summary(runs)
+    wall = time.perf_counter() - started
     _log_progress(
-        f"fig7 summary: wall={time.perf_counter() - started:.1f}s "
+        f"fig7 summary: wall={wall:.1f}s "
         f"solver_hit={caches['solver_hit_rate']:.1%} "
         f"comm_hit={caches['comm_hit_rate']:.1%} "
-        f"decisions={caches['solver_decisions']}"
+        f"decisions={caches['solver_decisions']} "
+        f"fh_delta={caches['fh_step_delta_hits']} "
+        f"warm={caches['warm_start_reused']}"
     )
+    _emit_trajectory(wall, caches)
     return points, caches
 
 

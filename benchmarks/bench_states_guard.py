@@ -64,7 +64,11 @@ def _run_case(threads: int, order_name: str, mode: str, search: str) -> dict:
         program,
         order,
         ConditionalCommutativity(solver),
-        config=VerifierConfig(mode=mode, search=search, max_rounds=60),
+        # the checked-in per-round baseline predates incremental rounds;
+        # the guard's contract is bit-identical legacy exploration
+        config=VerifierConfig(
+            mode=mode, search=search, max_rounds=60, incremental=False
+        ),
         solver=solver,
     )
     return {

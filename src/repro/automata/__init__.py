@@ -6,6 +6,7 @@ from .engine import (
     BudgetExceeded,
     DeadlineExceeded,
     EngineStats,
+    ExplorationLog,
     SearchResult,
     StateBudgetExceeded,
     WorklistEngine,
@@ -27,6 +28,7 @@ __all__ = [
     "BudgetExceeded",
     "DeadlineExceeded",
     "EngineStats",
+    "ExplorationLog",
     "SearchResult",
     "StateBudgetExceeded",
     "WorklistEngine",

@@ -70,6 +70,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         time_budget=args.timeout,
         simplify_proof=args.show_proof,
+        incremental=not args.no_incremental,
     )
     if args.per_thread:
         from .verifier import combine_verdicts, verify_each_thread
@@ -125,7 +126,11 @@ def _parse_fault_plan(spec: str | None):
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
-    config = VerifierConfig(max_rounds=args.max_rounds, time_budget=args.timeout)
+    config = VerifierConfig(
+        max_rounds=args.max_rounds,
+        time_budget=args.timeout,
+        incremental=not args.no_incremental,
+    )
     if args.parallel_portfolio:
         from .verifier import RetryPolicy
 
@@ -215,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--show-cache-stats", action="store_true",
             help="report solver/commutativity query counts and cache hit rates",
+        )
+        p.add_argument(
+            "--no-incremental", action="store_true",
+            help="disable incremental CEGAR rounds (delta-aware "
+                 "Floyd/Hoare steps and warm-started proof checks); "
+                 "restores bit-identical pre-incremental exploration",
         )
         p.add_argument(
             "--inject-faults", metavar="SPEC", default=None,

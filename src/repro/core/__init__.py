@@ -1,5 +1,6 @@
 """The paper's core: commutativity, preference orders, and reductions."""
 
+from .antichain import maximal_antichain, minimal_antichain
 from .commutativity import (
     CommutativityRelation,
     CommutativityStats,
@@ -39,6 +40,8 @@ from .reduction import MODES, ReducedProduct, reduce_program
 from .sleepset import DfaBase, SleepSetAutomaton
 
 __all__ = [
+    "maximal_antichain",
+    "minimal_antichain",
     "CommutativityRelation",
     "CommutativityStats",
     "ConditionalCommutativity",

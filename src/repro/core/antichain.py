@@ -1,0 +1,46 @@
+"""Antichain frontier compaction for monotone set-keyed caches (§7.2).
+
+Several cross-round caches record verdicts keyed by a predicate set and
+answer queries by subsumption: the useless-state cache and the positive
+commutativity entries fire when a *recorded ⊆ query* set exists, the
+negative commutativity entries when a *recorded ⊇ query* set exists.
+After the proof vocabulary grows, each bucket is compacted to its
+frontier — the ⊆-minimal (resp. ⊇-maximal) antichain — because a
+dominated entry answers no query its dominator does not.
+
+Sorting by cardinality first makes the scan one-directional: a set can
+only be dominated by one that sorts before it, so one pass with
+subset checks against the *kept* prefix replaces the quadratic
+all-pairs scans these call sites used to duplicate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+S = TypeVar("S", bound=frozenset)
+
+
+def minimal_antichain(sets: Iterable[S]) -> list[S]:
+    """The ⊆-minimal elements, deduplicated, smallest-first.
+
+    Every dropped set has a kept subset, so for subsumption caches that
+    fire on ``recorded <= query`` no answer changes.
+    """
+    kept: list[S] = []
+    for s in sorted(sets, key=len):
+        if not any(r <= s for r in kept):
+            kept.append(s)
+    return kept
+
+
+def maximal_antichain(sets: Iterable[S]) -> list[S]:
+    """The ⊇-maximal elements, deduplicated, largest-first.
+
+    The dual frontier, for caches that fire on ``recorded >= query``.
+    """
+    kept: list[S] = []
+    for s in sorted(sets, key=len, reverse=True):
+        if not any(r >= s for r in kept):
+            kept.append(s)
+    return kept

@@ -29,6 +29,7 @@ from typing import Protocol
 
 from ..lang.statements import Statement
 from ..logic import Solver, SolverUnknown, TRUE, Term, and_, eq, iff, implies, var
+from ..logic.relevance import relevant_context
 
 
 class CommutativityRelation(Protocol):
@@ -233,8 +234,6 @@ class ConditionalCommutativity:
         # caller's assertions are satisfiable, making this exact); the
         # projection also folds many distinct assertions onto one cache
         # entry.  See repro.logic.relevance.
-        from ..logic.relevance import relevant_context
-
         # condition.free_vars is precomputed by the interning kernel —
         # this hot loop no longer re-walks the composition formula
         context = relevant_context(phi, condition.free_vars)

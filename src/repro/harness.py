@@ -300,11 +300,16 @@ def cache_summary(
     """Aggregate cache behaviour over a set of runs (fig7 reporting)."""
     sat = hits = decisions = comm_asked = comm_hits = 0
     intern_hits = intern_misses = subst_hits = subst_misses = reinterned = 0
+    fh_delta_hits = fh_delta_misses = warm_reused = warm_dirty = 0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
         if qs is None:
             continue
+        fh_delta_hits += qs.fh_step_delta_hits
+        fh_delta_misses += qs.fh_step_delta_misses
+        warm_reused += qs.warm_start_reused
+        warm_dirty += qs.warm_start_dirty
         sat += qs.solver_sat_queries
         hits += (
             qs.solver_cache_hits
@@ -341,4 +346,8 @@ def cache_summary(
             round(subst_hits / subst_asked, 4) if subst_asked else 0.0
         ),
         "reintern_count": reinterned,
+        "fh_step_delta_hits": fh_delta_hits,
+        "fh_step_delta_misses": fh_delta_misses,
+        "warm_start_reused": warm_reused,
+        "warm_start_dirty": warm_dirty,
     }

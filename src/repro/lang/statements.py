@@ -28,11 +28,15 @@ from ..logic import (
     TRUE,
     Term,
     and_,
+    eliminate_exists,
     eliminate_forall,
+    eq,
     implies,
     substitute,
     var,
 )
+from ..logic.arrays import contains_arrays
+from ..logic.terms import AVar, Store
 
 _uid_counter = itertools.count()
 
@@ -136,9 +140,6 @@ class Statement:
         elimination does not support array-sorted variables; use the
         SSA path formula machinery for array programs.
         """
-        from ..logic import eliminate_exists, eq
-        from ..logic.arrays import contains_arrays
-
         if contains_arrays(pre) or any(
             contains_arrays(rhs) for rhs in self.updates.values()
         ) or contains_arrays(self.guard):
@@ -179,8 +180,6 @@ class Statement:
             )
             return substitute(term, mapping)
 
-        from ..logic.terms import AVar, Store
-
         constraint_parts = [cur(self.guard)]
         new_renaming = dict(renaming)
         for target, rhs in self.updates.items():
@@ -189,7 +188,7 @@ class Statement:
                 new_renaming[target] = rhs_now
             else:
                 fresh = var(f"{target}@{index}")
-                constraint_parts.append(_eq(fresh, rhs_now))
+                constraint_parts.append(eq(fresh, rhs_now))
                 new_renaming[target] = fresh
         return and_(*constraint_parts), new_renaming
 
@@ -198,12 +197,6 @@ class Statement:
     def compose(self, other: "Statement") -> "SymbolicAction":
         """The sequential composition ``self ; other`` as a symbolic action."""
         return SymbolicAction.of(self).then(SymbolicAction.of(other))
-
-
-def _eq(lhs: Term, rhs: Term) -> Term:
-    from ..logic import eq
-
-    return eq(lhs, rhs)
 
 
 class SymbolicAction:

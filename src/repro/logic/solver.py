@@ -37,6 +37,7 @@ from .terms import (
     Or,
     TRUE,
     Term,
+    add,
     and_,
     eq,
     evaluate,
@@ -44,6 +45,7 @@ from .terms import (
     ite,
     le,
     lt,
+    mul,
     not_,
     or_,
 )
@@ -115,12 +117,8 @@ def _replace(term: Term, target: Term, replacement: Term) -> Term:
     if term == target:
         return replacement
     if isinstance(term, Add):
-        from .terms import add
-
         return add(*(_replace(a, target, replacement) for a in term.args))
     if isinstance(term, Mul):
-        from .terms import mul
-
         return mul(term.coeff, _replace(term.arg, target, replacement))
     return term
 
@@ -337,8 +335,6 @@ class Solver:
 
     def _model_pool_hit(self, formula: Term) -> bool:
         """Does some cached model satisfy *formula*? (cheap pre-check)"""
-        from .terms import evaluate
-
         names = formula.free_vars
         for model in self._model_pool:
             env = {name: model.get(name, 0) for name in names}

@@ -25,18 +25,40 @@ shared :class:`~repro.automata.engine.WorklistEngine`; two strategies:
 * ``"dfs"`` — faithful to Algorithm 2, and supports the cross-round
   "useless state" cache of §7.2 (sound by monotonicity of
   proof-sensitive commutativity) as an engine strategy hook.
+
+Incremental rounds (warm-started checks).  Refinement only grows the
+predicate vocabulary, so between rounds a check state ⟨q, φ, S, c⟩ can
+change in exactly one way: its Floyd/Hoare component φ grows or goes ⊥
+(monotonicity, §7.2).  In incremental mode the checker records each
+round's exploration — every expanded state with its full reduced edge
+list — and feeds it back as the engine's *warm hook* at the next round:
+a popped state whose exact tuple appears in the record is **clean** (its
+φ is unchanged, so its sleep sets, membrane, and reduced edges are
+untouched — the proof-sensitive relation only reads φ) and is served its
+recorded successors verbatim, skipping the goal check, the cover check,
+and the whole reduction rule; only the successor φ components are
+re-stepped, each a delta-cache hit.  Every other state — the *dirty
+frontier*: φ changed, never expanded last round, or newly reachable —
+falls through to the live path.  Because the successor streams are
+verbatim and the queue is the same FIFO, the warm-started BFS visits
+states in *bit-identical order* to a cold run: same counterexample,
+same rounds, same proof — just without re-deriving the clean part.
+DFS keeps Algorithm 2's traversal (and the useless-state cache of
+§7.2) and profits from the delta-aware automaton only; warm starts
+are a BFS feature.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..automata.engine import (
     DeadlineExceeded,
     StateBudgetExceeded,
     WorklistEngine,
 )
+from ..core.antichain import maximal_antichain, minimal_antichain
 from ..core.commutativity import (
     CommutativityRelation,
     ConditionalCommutativity,
@@ -50,6 +72,18 @@ from ..logic import Term
 from .hoare import FhState, FloydHoareAutomaton
 
 CheckState = tuple[ProductState, FhState, frozenset[Statement], Context]
+
+#: a recorded reduced edge: (letter, base successor, sleep set, context)
+#: — the Floyd/Hoare component is re-stepped at warm-serve time
+WarmEdge = tuple[Statement, ProductState, frozenset[Statement], Context]
+
+#: cross-round warm map: state -> its reduced edges (None: discovered
+#: but never expanded — covered, goal, or still queued at the stop)
+WarmMap = dict[CheckState, "tuple[WarmEdge, ...] | None"]
+
+#: drop the warm map beyond this many recorded states — warm-start
+#: memory must stay bounded on state-budget-sized rounds
+WARM_STATE_LIMIT = 250_000
 
 
 class CheckDeadlineExceeded(DeadlineExceeded):
@@ -117,14 +151,7 @@ class UselessStateCache:
         :meth:`is_useless` from growing round over round.
         """
         for bucket in self._useless.values():
-            bucket[:] = [
-                s
-                for i, s in enumerate(bucket)
-                if not any(
-                    other < s or (other == s and j < i)
-                    for j, other in enumerate(bucket)
-                )
-            ]
+            bucket[:] = minimal_antichain(bucket)
 
 
 class _UselessHook:
@@ -159,6 +186,12 @@ class ProofCoverLayer:
     def __init__(self, checker: "ProofChecker", fh: FloydHoareAutomaton) -> None:
         self.checker = checker
         self.fh = fh
+        # the commutativity callback only reads the Floyd/Hoare
+        # component, so it is built once per distinct φ state (proof
+        # size many), not once per expanded check state
+        self._commute_cbs: dict[
+            FhState, Callable[[Statement, Statement], bool]
+        ] = {}
 
     def initial_state(self, pre: Term) -> CheckState:
         checker = self.checker
@@ -169,17 +202,29 @@ class ProofCoverLayer:
             checker.order.initial_context(),
         )
 
+    def _commute_cb(
+        self, phi_state: FhState
+    ) -> Callable[[Statement, Statement], bool]:
+        cb = self._commute_cbs.get(phi_state)
+        if cb is None:
+            def cb(
+                a: Statement,
+                b: Statement,
+                _commute=self.checker._commute,
+                _fh=self.fh,
+                _phi=phi_state,
+            ) -> bool:
+                return _commute(_fh, _phi, a, b)
+            self._commute_cbs[phi_state] = cb
+        return cb
+
     def successors(self, state: CheckState) -> Iterator[tuple[Statement, CheckState]]:
         checker = self.checker
         fh = self.fh
         q, phi_state, sleep, ctx = state
         if checker.program.is_violation(q):
             return
-        if checker._use_sleep:
-            def commute(a: Statement, b: Statement) -> bool:
-                return checker._commute(fh, phi_state, a, b)
-        else:
-            commute = None
+        commute = self._commute_cb(phi_state) if checker._use_sleep else None
         for a, q2, new_sleep, ctx2 in checker._layer.reduced_edges(
             q, sleep, ctx, commute=commute
         ):
@@ -205,6 +250,7 @@ class ProofChecker:
         max_states: int | None = None,
         deadline: float | None = None,
         memoize_commutativity: bool = True,
+        incremental: bool = True,
     ) -> None:
         if search not in ("bfs", "dfs"):
             raise ValueError(f"unknown search strategy {search!r}")
@@ -250,8 +296,42 @@ class ProofChecker:
         #: engine counters aggregated over all rounds of this checker
         self.engine_states_explored = 0
         self.engine_deadline_ticks = 0
+        # warm-started rounds (incremental, bfs): the cross-round warm
+        # map and its counters
+        self._incremental = incremental
+        self._warm: WarmMap | None = None
+        self._last_fh: FloydHoareAutomaton | None = None
+        #: replayed states whose recorded edges were reused verbatim
+        self.warm_start_reused = 0
+        #: dirty-frontier seeds handed back to the live search
+        self.warm_start_dirty = 0
 
     # -- engine counters ------------------------------------------------------
+
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
+
+    @property
+    def fh_step_hits(self) -> int:
+        fh = self._last_fh
+        return fh.stats.step_hits if fh is not None else 0
+
+    @property
+    def fh_step_delta_hits(self) -> int:
+        """Step-cache entries upgraded across a vocabulary growth."""
+        fh = self._last_fh
+        return fh.stats.step_delta_hits if fh is not None else 0
+
+    @property
+    def fh_step_delta_misses(self) -> int:
+        fh = self._last_fh
+        return fh.stats.step_delta_misses if fh is not None else 0
+
+    @property
+    def fh_initial_delta_hits(self) -> int:
+        fh = self._last_fh
+        return fh.stats.initial_delta_hits if fh is not None else 0
 
     @property
     def edge_sort_hits(self) -> int:
@@ -317,22 +397,8 @@ class ProofChecker:
         if self.useless_cache is not None:
             self.useless_cache.compact()
         for positives, negatives in self._commute_entries.values():
-            positives[:] = [
-                s
-                for i, s in enumerate(positives)
-                if not any(
-                    other < s or (other == s and j < i)
-                    for j, other in enumerate(positives)
-                )
-            ]
-            negatives[:] = [
-                s
-                for i, s in enumerate(negatives)
-                if not any(
-                    other > s or (other == s and j < i)
-                    for j, other in enumerate(negatives)
-                )
-            ]
+            positives[:] = minimal_antichain(positives)
+            negatives[:] = maximal_antichain(negatives)
 
     # -- successor generation (the reduction, on the fly) ----------------------
 
@@ -357,12 +423,61 @@ class ProofChecker:
             return not fh.entails(phi_state, post)
         return False
 
+    # -- warm-started rounds (incremental mode, bfs) --------------------------
+
+    def _warm_hook(
+        self, fh: FloydHoareAutomaton
+    ) -> Callable[[CheckState], "list[tuple[Statement, CheckState]] | None"]:
+        """The engine's warm hook over last round's recorded edges.
+
+        Answers only for *clean* states — exact tuple match against the
+        warm map, so the Floyd/Hoare component is unchanged and with it
+        the sleep sets, membrane, and reduced edge list (the
+        proof-sensitive relation only reads φ).  The recorded reduced
+        edges are served verbatim with just the successor φ components
+        re-stepped (delta-cache hits); a clean state needs no goal or
+        cover re-check, because goal-ness and coverage depend only on
+        ⟨q, φ⟩ and deterministic solver answers, and an expanded state
+        was neither last round.
+        """
+        warm = self._warm
+        step = fh.step
+
+        def hook(state: CheckState):
+            edges = warm.get(state)
+            if edges is None:  # dirty: unknown here, or never expanded
+                return None
+            phi_state = state[1]
+            return [
+                (a, (q2, step(phi_state, a), sleep2, ctx2))
+                for a, q2, sleep2, ctx2 in edges
+            ]
+
+        return hook
+
+    def _merge_warm(self, result) -> None:
+        """Fold this round's exploration into the cross-round warm map."""
+        seen = result.seen
+        if len(seen) > WARM_STATE_LIMIT:
+            self._warm = None
+            return
+        warm: WarmMap = dict.fromkeys(seen, None)
+        for state, edges in result.log.edges.items():
+            # drop the successors' φ components: they are re-stepped
+            # against next round's vocabulary at warm-serve time
+            warm[state] = tuple(
+                (a, nxt[0], nxt[2], nxt[3]) for a, nxt in edges
+            )
+        self._warm = warm
+
     # -- the check ----------------------------------------------------------------
 
     def check(self, fh: FloydHoareAutomaton, pre: Term, post: Term) -> CheckOutcome:
+        self._last_fh = fh
         layer = ProofCoverLayer(self, fh)
         initial = layer.initial_state(pre)
         assertions: set[FhState] = set()
+        incremental = self._incremental and self.search == "bfs"
         engine: WorklistEngine = WorklistEngine(
             layer.successors,
             strategy=self.search,
@@ -378,6 +493,12 @@ class ProofChecker:
                 if self.search == "dfs" and self.useless_cache is not None
                 else None
             ),
+            record=incremental,
+            warm=(
+                self._warm_hook(fh)
+                if incremental and self._warm is not None
+                else None
+            ),
         )
         try:
             result = engine.run(
@@ -386,6 +507,10 @@ class ProofChecker:
         finally:
             self.engine_states_explored += engine.stats.states_explored
             self.engine_deadline_ticks += engine.stats.deadline_ticks
+            self.warm_start_reused += engine.stats.warm_hits
+            self.warm_start_dirty += engine.stats.warm_misses
+        if incremental:
+            self._merge_warm(result)
         return CheckOutcome(
             result.trace, result.states_explored, len(assertions)
         )

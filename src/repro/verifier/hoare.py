@@ -14,25 +14,85 @@ trace reaching it is proven infeasible (covered by the proof).
 
 All triple checks are memoized; the number of distinct reachable states
 during a proof check is the paper's *proof size* metric.
+
+Incremental rounds (delta-aware transitions).  The CEGAR loop only ever
+*grows* the vocabulary, and growth cannot change anything about the old
+indices: a cached step entry's source state Φ contains only old indices,
+so its assertion φ = ⋀Φ is unchanged, and with it every already-solved
+per-predicate triple verdict and the guard-satisfiability check.  In
+incremental mode (the default) the step cache is therefore *versioned*
+instead of cleared: an entry computed under vocabulary length V is
+upgraded to length N by solving Hoare triples **only for the new indices
+V..N-1**, re-running the final bottom-satisfiability check only when a
+new predicate actually joined the holding set.  Both ⊥ causes are
+monotone in the vocabulary (an excluded guard stays excluded, an
+unsatisfiable conjunction only gains conjuncts), so a ⊥ entry is final.
+The implied-predicate scan of :meth:`initial_state` is delta-stepped the
+same way.  ``incremental=False`` restores the wholesale
+``_step_cache.clear()`` so the differential suite can prove the two
+modes equivalent.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..lang.statements import Statement
 from ..logic import FALSE, Solver, SolverUnknown, TRUE, Term, and_
+from ..logic.relevance import relevant_context
 
 FhState = frozenset[int]
 
 BOTTOM: FhState = frozenset({-1})  # sentinel: unsatisfiable conjunction
 
 
+@dataclass
+class FhStats:
+    """Counters for the delta-aware transition cache.
+
+    ``step_hits`` are same-vocabulary cache hits (the classical memo);
+    ``step_delta_hits`` count entries *upgraded* across a vocabulary
+    growth — the old holding set and triple verdicts were reused and
+    only the new predicate indices were solved; ``step_delta_misses``
+    are full from-scratch computations.  ``initial_delta_hits`` count
+    the same reuse in the implied-predicate scan of ``initial_state``.
+    """
+
+    step_hits: int = 0
+    step_delta_hits: int = 0
+    step_delta_misses: int = 0
+    initial_delta_hits: int = 0
+
+
+class _StepEntry:
+    """A versioned step-cache entry: result under ``vocab`` predicates.
+
+    ``holding`` is the raw holding set before ⊥ detection (needed to
+    extend the entry on vocabulary growth); it is ``None`` once the
+    entry went ⊥ — both ⊥ causes are monotone, so the entry is final.
+    """
+
+    __slots__ = ("result", "holding", "vocab")
+
+    def __init__(self, result: FhState, holding: FhState | None, vocab: int) -> None:
+        self.result = result
+        self.holding = holding
+        self.vocab = vocab
+
+
 class FloydHoareAutomaton:
     """Deterministic predicate-abstraction automaton over a predicate set."""
 
-    def __init__(self, predicates: Sequence[Term], solver: Solver) -> None:
+    def __init__(
+        self,
+        predicates: Sequence[Term],
+        solver: Solver,
+        *,
+        incremental: bool = True,
+    ) -> None:
         self._solver = solver
+        self._incremental = incremental
         self._predicates: list[Term] = []
         self._pred_index: dict[Term, int] = {}
         # (context.nid, letter.uid, pred_index): identity-keyed — a hit
@@ -40,7 +100,10 @@ class FloydHoareAutomaton:
         self._triple_cache: dict[tuple[int, int, int], bool] = {}
         self._wp_cache: dict[tuple[int, int], Term] = {}
         self._assertion_cache: dict[FhState, Term] = {}
-        self._step_cache: dict[tuple[FhState, int], FhState] = {}
+        self._step_cache: dict[tuple[FhState, int], _StepEntry] = {}
+        # pre.nid -> [sat(pre), holding list, vocab length]; delta-scanned
+        self._initial_cache: dict[int, list] = {}
+        self.stats = FhStats()
         for p in predicates:
             self.add_predicate(p)
 
@@ -50,28 +113,57 @@ class FloydHoareAutomaton:
     def predicates(self) -> tuple[Term, ...]:
         return tuple(self._predicates)
 
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
+
     def add_predicate(self, predicate: Term) -> bool:
         """Add to the vocabulary; returns False if already present."""
         if predicate in self._pred_index or predicate in (TRUE, FALSE):
             return False
         self._pred_index[predicate] = len(self._predicates)
         self._predicates.append(predicate)
-        # transitions depend on the vocabulary: invalidate
-        self._step_cache.clear()
+        if not self._incremental:
+            # transitions depend on the vocabulary: invalidate wholesale
+            self._step_cache.clear()
+            self._initial_cache.clear()
+        # incremental mode keeps every entry versioned by vocabulary
+        # length; stale entries are delta-upgraded lazily on next access
         return True
 
     # -- states ------------------------------------------------------------------
 
     def initial_state(self, pre: Term) -> FhState:
-        """Predicates implied by the precondition."""
+        """Predicates implied by the precondition (delta-scanned)."""
+        n = len(self._predicates)
+        entry = self._initial_cache.get(pre.nid) if self._incremental else None
+        if entry is not None:
+            sat, holding, vocab = entry
+            if not sat:
+                return BOTTOM
+            if vocab < n:
+                # vocabulary grew: scan only the new predicate indices —
+                # pre is unchanged, so every old verdict stands
+                holding.extend(
+                    i
+                    for i in range(vocab, n)
+                    if self._implies_safe(pre, self._predicates[i])
+                )
+                entry[2] = n
+                self.stats.initial_delta_hits += 1
+            return frozenset(holding)
         if not self._solver.is_sat(pre):
+            if self._incremental:
+                self._initial_cache[pre.nid] = [False, [], n]
             return BOTTOM
-        holding = frozenset(
+        holding = [
             i
             for i, p in enumerate(self._predicates)
             if self._implies_safe(pre, p)
-        )
-        return holding
+        ]
+        if self._incremental:
+            self._initial_cache[pre.nid] = [True, holding, n]
+        return frozenset(holding)
 
     def assertion(self, state: FhState) -> Term:
         """The conjunction this state stands for."""
@@ -92,13 +184,18 @@ class FloydHoareAutomaton:
         if state == BOTTOM:
             return BOTTOM
         key = (state, letter.uid)
-        cached = self._step_cache.get(key)
-        if cached is not None:
-            return cached
+        entry = self._step_cache.get(key)
+        n = len(self._predicates)
+        if entry is not None:
+            if entry.vocab == n:
+                self.stats.step_hits += 1
+                return entry.result
+            return self._upgrade_step(entry, state, letter, n)
+        self.stats.step_delta_misses += 1
         phi = self.assertion(state)
         written = letter.written_vars()
         holding_set: set[int] = set()
-        for i in range(len(self._predicates)):
+        for i in range(n):
             # fast path: a predicate that already holds and whose
             # variables the letter does not write is preserved —
             # {φ} a {p} follows from φ ⇒ p ⇒ (guard → p) = wp(p, a)
@@ -114,7 +211,42 @@ class FloydHoareAutomaton:
             result = BOTTOM
         elif holding and not self._sat_safe(self.assertion(holding)):
             result = BOTTOM
-        self._step_cache[key] = result
+        self._step_cache[key] = _StepEntry(
+            result, None if result == BOTTOM else holding, n
+        )
+        return result
+
+    def _upgrade_step(
+        self, entry: _StepEntry, state: FhState, letter: Statement, n: int
+    ) -> FhState:
+        """Delta-upgrade a step entry after the vocabulary grew.
+
+        The source state's indices all predate ``entry.vocab``, so its
+        assertion φ is unchanged; only the new indices need triples, and
+        the final ⊥-satisfiability check re-runs only when a new
+        predicate joined the holding set.  A ⊥ entry is final (both ⊥
+        causes are monotone in the vocabulary).
+        """
+        self.stats.step_delta_hits += 1
+        if entry.holding is None:  # went ⊥ under a smaller vocabulary
+            entry.vocab = n
+            return entry.result
+        phi = self.assertion(state)
+        new_indices = [
+            i
+            for i in range(entry.vocab, n)
+            if self._triple(phi, letter, i)
+        ]
+        if not new_indices:
+            entry.vocab = n
+            return entry.result
+        holding = entry.holding | frozenset(new_indices)
+        result = holding
+        if not self._sat_safe(self.assertion(holding)):
+            result = BOTTOM
+        entry.result = result
+        entry.holding = None if result == BOTTOM else holding
+        entry.vocab = n
         return result
 
     def _triple(self, phi: Term, letter: Statement, pred_index: int) -> bool:
@@ -128,8 +260,6 @@ class FloydHoareAutomaton:
         if wp is None:
             wp = letter.wp(self._predicates[pred_index])
             self._wp_cache[(letter.uid, pred_index)] = wp
-        from ..logic.relevance import relevant_context
-
         context = relevant_context(phi, wp.free_vars)
         key = (context.nid, letter.uid, pred_index)
         cached = self._triple_cache.get(key)

@@ -23,10 +23,13 @@ from ..logic import (
     TRUE,
     Term,
     and_,
+    avar,
     not_,
     substitute,
     var,
 )
+from ..logic.arrays import array_names
+from ..logic.terms import And
 
 
 def path_formula(
@@ -39,9 +42,6 @@ def path_formula(
     for integers, a store-chain for arrays).  The formula's models are
     exactly the executions of the trace.
     """
-    from ..logic.arrays import array_names
-    from ..logic import avar
-
     names: set[str] = set(pre.free_vars)
     arrays: set[str] = set(array_names(pre))
     for s in trace:
@@ -106,8 +106,6 @@ def extract_predicates(annotation: Sequence[Term]) -> list[Term]:
     conjunctions — finer granularity lets the Floyd/Hoare automaton
     recombine facts at other control locations.
     """
-    from ..logic.terms import And
-
     out: list[Term] = []
     seen: set[Term] = set()
 

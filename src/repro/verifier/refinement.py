@@ -52,6 +52,11 @@ class VerifierConfig:
     #: cache (the differential test suite turns this off together with the
     #: solver/relation caches to prove memoization is semantically inert)
     memoize_commutativity: bool = True
+    #: incremental CEGAR rounds: delta-aware Floyd/Hoare transitions on
+    #: vocabulary growth plus warm-started proof checks (bfs).  Disable
+    #: (``--no-incremental``) for bit-identical legacy behavior — the
+    #: states-identity guard runs with this off.
+    incremental: bool = True
 
 
 def verify(
@@ -116,7 +121,7 @@ def verify(
             tracemalloc.stop()
         return result
 
-    fh = FloydHoareAutomaton([], solver)
+    fh = FloydHoareAutomaton([], solver, incremental=config.incremental)
     cache = UselessStateCache() if (
         config.use_useless_cache and config.search == "dfs"
     ) else None
@@ -131,6 +136,7 @@ def verify(
         max_states=config.max_states_per_round,
         deadline=deadline,
         memoize_commutativity=config.memoize_commutativity,
+        incremental=config.incremental,
     )
 
     result = VerificationResult(

@@ -32,6 +32,9 @@ _CSV_FIELDS = (
     "edge_sort_hit_rate",
     "engine_deadline_ticks",
     "useless_cache_hits",
+    "fh_step_delta_hits",
+    "warm_start_reused",
+    "warm_start_dirty",
     "intern_hit_rate",
     "substitute_hit_rate",
     "reintern_count",
@@ -73,6 +76,9 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 ),
                 "engine_deadline_ticks": qs.engine_deadline_ticks if qs else "",
                 "useless_cache_hits": qs.useless_cache_hits if qs else "",
+                "fh_step_delta_hits": qs.fh_step_delta_hits if qs else "",
+                "warm_start_reused": qs.warm_start_reused if qs else "",
+                "warm_start_dirty": qs.warm_start_dirty if qs else "",
                 "intern_hit_rate": f"{qs.intern_hit_rate:.4f}" if qs else "",
                 "substitute_hit_rate": (
                     f"{qs.substitute_hit_rate:.4f}" if qs else ""

@@ -86,6 +86,13 @@ class QueryStats:
     edge_sort_hits: int = 0
     edge_sort_misses: int = 0
     useless_cache_hits: int = 0
+    # incremental rounds (delta-aware Floyd/Hoare steps + warm starts)
+    fh_step_hits: int = 0
+    fh_step_delta_hits: int = 0
+    fh_step_delta_misses: int = 0
+    fh_initial_delta_hits: int = 0
+    warm_start_reused: int = 0
+    warm_start_dirty: int = 0
     # term-kernel level (repro.logic.terms interning kernel); counters
     # are deltas over the run when a baseline snapshot is supplied to
     # :meth:`collect`, otherwise process-cumulative.  ``reintern_count``
@@ -214,6 +221,12 @@ class QueryStats:
             out.edge_sort_misses = checker.edge_sort_misses
             if checker.useless_cache is not None:
                 out.useless_cache_hits = checker.useless_cache.hits
+            out.fh_step_hits = checker.fh_step_hits
+            out.fh_step_delta_hits = checker.fh_step_delta_hits
+            out.fh_step_delta_misses = checker.fh_step_delta_misses
+            out.fh_initial_delta_hits = checker.fh_initial_delta_hits
+            out.warm_start_reused = checker.warm_start_reused
+            out.warm_start_dirty = checker.warm_start_dirty
         return out
 
     def as_dict(self) -> dict:
@@ -256,6 +269,13 @@ class QueryStats:
             f"edge-sort hit rate {self.edge_sort_hit_rate:.1%} "
             f"(hits {self.edge_sort_hits}, misses {self.edge_sort_misses}), "
             f"{self.useless_cache_hits} useless-state hits",
+            "incremental:   "
+            f"fh steps {self.fh_step_hits} hits / "
+            f"{self.fh_step_delta_hits} delta hits / "
+            f"{self.fh_step_delta_misses} misses, "
+            f"{self.fh_initial_delta_hits} initial delta hits; "
+            f"warm start {self.warm_start_reused} reused, "
+            f"{self.warm_start_dirty} dirty seeds",
             "term kernel:   "
             f"intern hit rate {self.intern_hit_rate:.1%} "
             f"(hits {self.intern_hits}, misses {self.intern_misses}), "

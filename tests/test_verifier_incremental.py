@@ -1,0 +1,291 @@
+"""Incremental CEGAR rounds: differential and unit tests.
+
+Three layers of evidence that incremental mode is semantically inert:
+
+* a hypothesis differential drives an incremental
+  :class:`FloydHoareAutomaton` through random vocabulary-growth
+  schedules and checks every ``initial_state``/``step`` answer against a
+  from-scratch automaton rebuilt after each growth step;
+* full ``verify()`` runs over the mutex and bluetooth families compare
+  incremental and non-incremental rounds for both search strategies —
+  verdict, rounds, counterexample, proof size, vocabulary, and
+  per-round state counts must be identical (the warm hook replays
+  recorded successor streams verbatim, so the BFS order is
+  bit-identical);
+* unit tests pin the engine's warm-hook contract and the shared
+  antichain helpers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.engine import WorklistEngine
+from repro.benchmarks import bluetooth, mutex
+from repro.core import maximal_antichain, minimal_antichain
+from repro.core.commutativity import ConditionalCommutativity
+from repro.lang import assign, assume
+from repro.logic import Solver, add, and_, eq, ge, gt, intc, le, sub, var
+from repro.verifier import FloydHoareAutomaton, VerifierConfig, verify
+
+x, y = var("x"), var("y")
+
+# -- hypothesis differential: delta FH steps vs from-scratch ----------------
+
+_PREDS = [
+    ge(x, intc(0)),
+    ge(x, intc(1)),
+    le(x, intc(3)),
+    eq(x, y),
+    ge(y, intc(0)),
+    le(y, intc(2)),
+    gt(x, y),
+    eq(x, intc(2)),
+]
+
+_LETTERS = [
+    assign(0, "x", add(x, intc(1))),
+    assign(1, "y", sub(y, intc(1))),
+    assign(0, "x", y),
+    assign(1, "y", intc(0)),
+    assume(0, ge(x, intc(1))),
+    assume(1, le(y, intc(1))),
+]
+
+_PRES = [
+    eq(x, intc(0)),
+    and_(eq(x, intc(0)), eq(y, intc(0))),
+    ge(x, intc(2)),
+    and_(ge(x, intc(0)), le(x, intc(0))),
+]
+
+
+@given(
+    growth=st.lists(
+        st.integers(min_value=0, max_value=len(_PREDS) - 1),
+        min_size=1,
+        max_size=6,
+    ),
+    letters=st.lists(
+        st.integers(min_value=0, max_value=len(_LETTERS) - 1),
+        min_size=1,
+        max_size=5,
+    ),
+    pre_index=st.integers(min_value=0, max_value=len(_PRES) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_fh_matches_fresh(growth, letters, pre_index):
+    """After every vocabulary growth, the delta-stepped automaton must
+    answer exactly like one rebuilt from scratch over the same
+    predicates — states, bottom-ness, and the implied-predicate scan."""
+    solver = Solver()
+    pre = _PRES[pre_index]
+    inc = FloydHoareAutomaton([], solver, incremental=True)
+    word = [_LETTERS[i] for i in letters]
+    for grow in growth:
+        inc.add_predicate(_PREDS[grow])
+        fresh = FloydHoareAutomaton(
+            list(inc.predicates), solver, incremental=False
+        )
+        si = inc.initial_state(pre)
+        sf = fresh.initial_state(pre)
+        assert si == sf
+        for letter in word:
+            si = inc.step(si, letter)
+            sf = fresh.step(sf, letter)
+            assert si == sf
+            assert inc.is_bottom(si) == fresh.is_bottom(sf)
+
+
+def test_delta_counters_fire_on_growth():
+    solver = Solver()
+    fh = FloydHoareAutomaton([_PREDS[0]], solver, incremental=True)
+    state = fh.initial_state(_PRES[0])
+    state = fh.step(state, _LETTERS[0])
+    fh.add_predicate(_PREDS[1])
+    nxt = fh.initial_state(_PRES[0])
+    fh.step(nxt, _LETTERS[0])
+    assert fh.stats.step_delta_hits > 0
+    assert fh.stats.initial_delta_hits > 0
+
+
+def test_non_incremental_never_reuses_across_growth():
+    solver = Solver()
+    fh = FloydHoareAutomaton([_PREDS[0]], solver, incremental=False)
+    state = fh.initial_state(_PRES[0])
+    fh.step(state, _LETTERS[0])
+    fh.add_predicate(_PREDS[1])
+    nxt = fh.initial_state(_PRES[0])
+    fh.step(nxt, _LETTERS[0])
+    assert fh.stats.step_delta_hits == 0
+    assert fh.stats.initial_delta_hits == 0
+
+
+# -- verify(): incremental vs scratch over mutex/bluetooth families ---------
+
+_FAMILY = [
+    ("dekker", mutex.dekker),
+    ("dekker-bug", lambda: mutex.dekker(correct=False)),
+    ("readers-writer(2)", lambda: mutex.readers_writer(2)),
+    ("double-observer", mutex.double_observer),
+    ("bluetooth(2)", lambda: bluetooth(2)),
+    ("bluetooth(2)-bug", lambda: bluetooth(2, correct=False)),
+]
+
+
+def _run(build, *, incremental: bool, search: str):
+    solver = Solver()
+    config = VerifierConfig(
+        search=search,
+        incremental=incremental,
+        max_rounds=30,
+        time_budget=None,
+    )
+    return verify(
+        build(),
+        commutativity=ConditionalCommutativity(solver),
+        config=config,
+        solver=solver,
+    )
+
+
+def _labels(counterexample):
+    if counterexample is None:
+        return None
+    return [s.label for s in counterexample]
+
+
+@pytest.mark.parametrize("search", ["bfs", "dfs"])
+@pytest.mark.parametrize("name,build", _FAMILY, ids=[n for n, _ in _FAMILY])
+def test_incremental_and_scratch_verify_agree(search, name, build):
+    inc = _run(build, incremental=True, search=search)
+    scratch = _run(build, incremental=False, search=search)
+    assert inc.verdict == scratch.verdict
+    assert inc.rounds == scratch.rounds
+    assert inc.proof_size == scratch.proof_size
+    assert inc.num_predicates == scratch.num_predicates
+    # statements compare by identity across the two program builds, so
+    # compare the counterexample as a label word
+    assert _labels(inc.counterexample) == _labels(scratch.counterexample)
+    assert [r.states_explored for r in inc.round_stats] == [
+        r.states_explored for r in scratch.round_stats
+    ]
+    # scratch mode must stay entirely off the reuse paths
+    sqs = scratch.query_stats
+    assert sqs.fh_step_delta_hits == 0
+    assert sqs.fh_initial_delta_hits == 0
+    assert sqs.warm_start_reused == 0
+    assert sqs.warm_start_dirty == 0
+
+
+def test_warm_start_fires_on_bfs_family():
+    """The agreement above would be vacuous if the warm path never ran."""
+    reused = delta = 0
+    for _, build in _FAMILY:
+        qs = _run(build, incremental=True, search="bfs").query_stats
+        reused += qs.warm_start_reused
+        delta += qs.fh_step_delta_hits
+    assert reused > 0
+    assert delta > 0
+
+
+def test_dfs_keeps_delta_steps_but_no_warm_start():
+    qs = _run(mutex.dekker, incremental=True, search="dfs").query_stats
+    # warm-started checks are bfs-only; delta FH steps apply either way
+    assert qs.warm_start_reused == 0
+    assert qs.fh_step_delta_hits > 0
+
+
+# -- engine warm-hook contract ----------------------------------------------
+
+_GRAPH = {
+    0: [("a", 1), ("b", 2)],
+    1: [("c", 3)],
+    2: [("c", 3), ("d", 4)],
+    3: [],
+    4: [],
+}
+
+
+def test_warm_hook_rejects_dfs():
+    with pytest.raises(ValueError):
+        WorklistEngine(
+            _GRAPH.__getitem__, strategy="dfs", warm=lambda s: None
+        )
+
+
+def test_recorded_run_then_warm_replay_is_identical():
+    cold = WorklistEngine(_GRAPH.__getitem__, record=True)
+    cold_result = cold.run(0)
+    assert cold_result.log is not None
+    assert set(cold_result.log.edges) == set(_GRAPH)
+
+    def broken(state):
+        raise AssertionError(f"live successors consulted for {state}")
+
+    warm = WorklistEngine(broken, warm=cold_result.log.edges.get)
+    warm_result = warm.run(0)
+    assert warm_result.seen == cold_result.seen
+    assert warm.stats.warm_hits == len(_GRAPH)
+    assert warm.stats.warm_misses == 0
+
+
+def test_warm_miss_falls_through_to_live_successors():
+    cold = WorklistEngine(_GRAPH.__getitem__, record=True)
+    log = cold.run(0).log
+    partial = dict(log.edges)
+    del partial[2]  # a dirty state: must be re-expanded live
+    warm = WorklistEngine(_GRAPH.__getitem__, warm=partial.get)
+    result = warm.run(0)
+    assert result.seen == set(_GRAPH)
+    assert warm.stats.warm_misses == 1
+    assert warm.stats.warm_hits == len(_GRAPH) - 1
+
+
+def test_warm_served_states_skip_the_goal_check():
+    # the hook's contract: answered states are known not to be goals, so
+    # the engine must not even evaluate the predicate on them
+    cold = WorklistEngine(_GRAPH.__getitem__, record=True)
+    log = cold.run(0).log
+    warm = WorklistEngine(_GRAPH.__getitem__, warm=log.edges.get)
+    result = warm.run(0, goal=lambda s: s == 2)
+    assert result.goal_state is None
+
+
+# -- shared antichain helpers -----------------------------------------------
+
+_SETS = [
+    frozenset({1, 2}),
+    frozenset({1}),
+    frozenset({2, 3}),
+    frozenset({1, 2, 3}),
+    frozenset({1}),  # duplicate survives exactly once
+]
+
+
+def test_minimal_antichain():
+    kept = minimal_antichain(_SETS)
+    assert sorted(kept, key=sorted) == [frozenset({1}), frozenset({2, 3})]
+
+
+def test_maximal_antichain():
+    assert maximal_antichain(_SETS) == [frozenset({1, 2, 3})]
+
+
+@given(
+    st.lists(
+        st.frozensets(st.integers(min_value=0, max_value=5), max_size=4),
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_antichain_helpers_match_naive_filter(sets):
+    minimal = set(minimal_antichain(sets))
+    assert minimal == {
+        s for s in sets if not any(r < s for r in sets)
+    }
+    maximal = set(maximal_antichain(sets))
+    assert maximal == {
+        s for s in sets if not any(r > s for r in sets)
+    }
