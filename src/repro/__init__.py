@@ -31,6 +31,7 @@ from .core import (
     ThreadUniformOrder,
     reduce_program,
 )
+from .store import ProofStore, open_store
 from .verifier import (
     Verdict,
     VerificationResult,
@@ -54,6 +55,8 @@ __all__ = [
     "SyntacticCommutativity",
     "ThreadUniformOrder",
     "reduce_program",
+    "ProofStore",
+    "open_store",
     "Verdict",
     "VerificationResult",
     "VerifierConfig",

@@ -53,6 +53,15 @@ def _make_order(spec: str, program: ConcurrentProgram):
     raise SystemExit(f"unknown order {spec!r} (use seq, lockstep, or rand:N)")
 
 
+def _store_path(args: argparse.Namespace) -> str | None:
+    """Resolve the proof-store path: flag wins, then the env knob."""
+    import os
+
+    if args.no_proof_store:
+        return None
+    return args.proof_store or os.environ.get("REPRO_PROOF_STORE") or None
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
     order = _make_order(args.order, program)
@@ -71,6 +80,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         time_budget=args.timeout,
         simplify_proof=args.show_proof,
         incremental=not args.no_incremental,
+        store_path=_store_path(args),
     )
     if args.per_thread:
         from .verifier import combine_verdicts, verify_each_thread
@@ -130,6 +140,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         time_budget=args.timeout,
         incremental=not args.no_incremental,
+        store_path=_store_path(args),
     )
     if args.parallel_portfolio:
         from .verifier import RetryPolicy
@@ -232,6 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="deterministic fault-injection spec, e.g. "
                  "'seed=7;p_unknown=0.05;seq:crash_at=0' "
                  "(see docs/runtime.md; REPRO_FAULTS is the env equivalent)",
+        )
+        p.add_argument(
+            "--proof-store", metavar="PATH", default=None,
+            help="persistent content-addressed proof store directory; "
+                 "solved solver/Hoare/commutativity verdicts are reused "
+                 "across runs (REPRO_PROOF_STORE is the env equivalent)",
+        )
+        p.add_argument(
+            "--no-proof-store", action="store_true",
+            help="ignore --proof-store and REPRO_PROOF_STORE; run cold",
         )
 
     p_verify = sub.add_parser("verify", help="verify a program")

@@ -94,6 +94,27 @@ class SyntacticCommutativity:
         )
 
 
+_KIND_COMM = "comm"
+_KIND_COMM_COND = "commc"
+
+
+def _pair_store_key(a: Statement, b: Statement, context: Term | None = None):
+    """Persistent-store key for a commutativity fact (order-normalized).
+
+    Commutativity is symmetric, so the pair is ordered by content digest
+    — the same two statements get the same key in every process, whatever
+    their construction order.
+    """
+    from ..store import pair_digest, statement_digest, term_digest
+
+    da, db = statement_digest(a), statement_digest(b)
+    if da > db:
+        da, db = db, da
+    if context is None:
+        return pair_digest(da, db)
+    return pair_digest(term_digest(context), da, db)
+
+
 _condition_cache: dict[tuple[int, int], Term] = {}
 
 
@@ -142,6 +163,9 @@ class SemanticCommutativity:
         self._memoize = memoize
         self._cache: dict[tuple[int, int], bool] = {}
         self.stats = stats if stats is not None else CommutativityStats()
+        #: optional persistent proof store; commutativity of a statement
+        #: pair is a trace-independent fact, keyed by content digests
+        self.proof_store = None
 
     def commute(self, a: Statement, b: Statement) -> bool:
         if _same_thread(a, b):
@@ -158,6 +182,16 @@ class SemanticCommutativity:
             if hit is not None:
                 self.stats.cache_hits += 1
                 return hit
+        store = self.proof_store
+        skey = None
+        if store is not None:
+            skey = _pair_store_key(a, b)
+            stored = store.get(_KIND_COMM, skey)
+            if stored is not None:
+                result = bool(stored)
+                if self._memoize:
+                    self._cache[key] = result
+                return result
         self.stats.solver_checks += 1
         try:
             result = self._solver.is_valid(composition_equal_condition(a, b))
@@ -169,6 +203,8 @@ class SemanticCommutativity:
             return False
         if self._memoize:
             self._cache[key] = result
+        if skey is not None:
+            store.put(_KIND_COMM, skey, result)
         return result
 
 
@@ -199,6 +235,12 @@ class ConditionalCommutativity:
         #: derived caches (e.g. the proof checker's subsumption entries)
         #: compare against it to apply the monotone invalidation rule
         self.vocabulary_epoch = 0
+        self.proof_store = None
+
+    def attach_store(self, store) -> None:
+        """Attach a persistent proof store to both relation layers."""
+        self.proof_store = store
+        self._unconditional.proof_store = store
 
     def commute(self, a: Statement, b: Statement) -> bool:
         return self._unconditional.commute(a, b)
@@ -246,6 +288,16 @@ class ConditionalCommutativity:
             if hit is not None:
                 self.stats.cache_hits += 1
                 return hit
+        store = self.proof_store
+        skey = None
+        if store is not None:
+            skey = _pair_store_key(a, b, context)
+            stored = store.get(_KIND_COMM_COND, skey)
+            if stored is not None:
+                result = bool(stored)
+                if self._memoize:
+                    self._cache[key] = result
+                return result
         self.stats.solver_checks += 1
         try:
             result = self._solver.is_valid(implies(context, condition))
@@ -256,6 +308,8 @@ class ConditionalCommutativity:
             return False
         if self._memoize:
             self._cache[key] = result
+        if skey is not None:
+            store.put(_KIND_COMM_COND, skey, result)
         return result
 
 

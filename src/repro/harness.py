@@ -14,7 +14,10 @@ Environment knobs:
   worker-process runtime (crash containment + watchdog) instead of the
   sequential emulation;
 * ``REPRO_FAULTS``  — deterministic fault-injection spec (see
-  repro.verifier.faults), applied to every verification run.
+  repro.verifier.faults), applied to every verification run;
+* ``REPRO_PROOF_STORE`` — directory of a persistent content-addressed
+  proof store (repro.store); solved solver/Hoare/commutativity verdicts
+  are reused across harness sessions.
 """
 
 from __future__ import annotations
@@ -75,11 +78,16 @@ def parallel_portfolio() -> bool:
     return os.environ.get("REPRO_PARALLEL", "0") not in ("0", "")
 
 
+def proof_store_path() -> str | None:
+    return os.environ.get("REPRO_PROOF_STORE") or None
+
+
 def _config(**overrides) -> VerifierConfig:
     base = dict(
         max_rounds=round_budget(),
         time_budget=time_budget(),
         track_memory=True,
+        store_path=proof_store_path(),
     )
     base.update(overrides)
     return VerifierConfig(**base)
@@ -301,11 +309,15 @@ def cache_summary(
     sat = hits = decisions = comm_asked = comm_hits = 0
     intern_hits = intern_misses = subst_hits = subst_misses = reinterned = 0
     fh_delta_hits = fh_delta_misses = warm_reused = warm_dirty = 0
+    store_hits = store_misses = store_writes = 0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
         if qs is None:
             continue
+        store_hits += qs.store_hits
+        store_misses += qs.store_misses
+        store_writes += qs.store_writes
         fh_delta_hits += qs.fh_step_delta_hits
         fh_delta_misses += qs.fh_step_delta_misses
         warm_reused += qs.warm_start_reused
@@ -350,4 +362,12 @@ def cache_summary(
         "fh_step_delta_misses": fh_delta_misses,
         "warm_start_reused": warm_reused,
         "warm_start_dirty": warm_dirty,
+        "store_hits": store_hits,
+        "store_misses": store_misses,
+        "store_writes": store_writes,
+        "store_hit_rate": (
+            round(store_hits / (store_hits + store_misses), 4)
+            if store_hits + store_misses
+            else 0.0
+        ),
     }

@@ -310,6 +310,11 @@ class Solver:
         #: once per sat-level query, before any cache lookup, so injected
         #: schedules are a pure function of the query index
         self.fault_injector = None
+        #: optional persistent proof store (repro.store.ProofStore);
+        #: consulted after every in-memory layer misses and written back
+        #: with definite verdicts only — an UNKNOWN raise never reaches
+        #: the write, so budget-dependent outcomes are never persisted
+        self.proof_store = None
 
     @property
     def deadline(self) -> float | None:
@@ -393,9 +398,30 @@ class Solver:
             self.stats.model_pool_hits += 1
             result = True
         else:
-            result = self._decide(nnf, expanded) is not None
+            result = self._stored_or_decide(nnf, expanded)
         if len(self._sat_cache) < self._cache_size:
             self._sat_cache[nnf.nid] = result
+        return result
+
+    def _stored_or_decide(self, nnf: Term, expanded: Term) -> bool:
+        """Persistent-store lookup, falling back to a decision run.
+
+        The store is consulted only after every in-memory layer missed,
+        so in-run behavior is byte-identical with or without it; a fresh
+        decision's verdict is written back (definite verdicts only — an
+        UNKNOWN propagates as an exception and never reaches the write).
+        """
+        store = self.proof_store
+        if store is None:
+            return self._decide(nnf, expanded) is not None
+        from ..store import KIND_SAT, term_digest
+
+        key = term_digest(nnf)
+        hit = store.get(KIND_SAT, key)
+        if hit is not None:
+            return bool(hit)
+        result = self._decide(nnf, expanded) is not None
+        store.put(KIND_SAT, key, result)
         return result
 
     def is_valid(self, formula: Term) -> bool:

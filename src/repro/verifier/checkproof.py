@@ -455,6 +455,29 @@ class ProofChecker:
 
         return hook
 
+    def exploration_summary(self) -> dict:
+        """JSON-able summary of this checker's exploration (all rounds).
+
+        Persisted by ``verify()`` into the proof store (kind
+        ``explore``) next to the round/predicate data: a re-verification
+        of the same program can read how the previous run explored —
+        states expanded, warm-start reuse, recorded warm-map size —
+        without re-deriving it.  Pure data; never fed back into control
+        flow, so storing it cannot perturb a verdict.
+        """
+        return {
+            "search": self.search,
+            "mode": self.mode,
+            "states_explored": self.engine_states_explored,
+            "warm_start_reused": self.warm_start_reused,
+            "warm_start_dirty": self.warm_start_dirty,
+            "warm_states_recorded": (
+                len(self._warm) if self._warm is not None else 0
+            ),
+            "commute_queries": self.commute_queries,
+            "commute_subsumption_hits": self.commute_subsumption_hits,
+        }
+
     def _merge_warm(self, result) -> None:
         """Fold this round's exploration into the cross-round warm map."""
         seen = result.seen

@@ -90,9 +90,14 @@ class FloydHoareAutomaton:
         solver: Solver,
         *,
         incremental: bool = True,
+        proof_store=None,
     ) -> None:
         self._solver = solver
         self._incremental = incremental
+        #: optional persistent proof store: triple verdicts are keyed by
+        #: (context digest, statement digest, predicate digest), so they
+        #: survive the process and program edits that do not touch them
+        self._store = proof_store
         self._predicates: list[Term] = []
         self._pred_index: dict[Term, int] = {}
         # (context.nid, letter.uid, pred_index): identity-keyed — a hit
@@ -265,8 +270,32 @@ class FloydHoareAutomaton:
         cached = self._triple_cache.get(key)
         if cached is not None:
             return cached
-        result = self._implies_safe(context, wp)
+        store = self._store
+        skey = None
+        if store is not None:
+            from ..store import KIND_HOARE, pair_digest, statement_digest, term_digest
+
+            skey = pair_digest(
+                term_digest(context),
+                statement_digest(letter),
+                term_digest(self._predicates[pred_index]),
+            )
+            hit = store.get(KIND_HOARE, skey)
+            if hit is not None:
+                result = bool(hit)
+                self._triple_cache[key] = result
+                return result
+        try:
+            result = self._solver.implies(context, wp)
+            definite = True
+        except SolverUnknown:
+            # sound fallback: claim fewer facts.  Budget-dependent, so it
+            # is memoized for this run only, never persisted.
+            result = False
+            definite = False
         self._triple_cache[key] = result
+        if definite and skey is not None:
+            store.put(KIND_HOARE, skey, result)
         return result
 
     def _pred_vars(self, index: int) -> frozenset[str]:

@@ -57,6 +57,15 @@ class VerifierConfig:
     #: (``--no-incremental``) for bit-identical legacy behavior — the
     #: states-identity guard runs with this off.
     incremental: bool = True
+    #: directory of the persistent content-addressed proof store
+    #: (``--proof-store``); None disables persistence entirely — the
+    #: disabled path is byte-identical to not having the feature.
+    #: Solver verdicts, Hoare triples, and commutativity facts are
+    #: looked up after every in-memory cache misses and written back
+    #: (definite verdicts only); exploration logs are recorded per
+    #: solved run.  A corrupt or version-skewed store degrades to a
+    #: cold start with a logged warning, never a wrong verdict.
+    store_path: str | None = None
 
 
 def verify(
@@ -83,6 +92,21 @@ def verify(
     # (no-op when unset or when the caller attached an injector already)
     attach_env_faults(solver, member=order.name)
 
+    # persistent proof store: attach at every cache boundary that PR 4
+    # rekeyed by identity.  The store is shared process-wide per path,
+    # so counters are reported as the delta over this run.
+    store = None
+    store_baseline: dict | None = None
+    if config.store_path:
+        from ..store import open_store
+
+        store = open_store(config.store_path)
+        solver.proof_store = store
+        attach = getattr(commutativity, "attach_store", None)
+        if attach is not None:
+            attach(store)
+        store_baseline = store.counters()
+
     started = time.perf_counter()
     # the kernel counters are process-wide; snapshot them so this run's
     # query_stats report the per-run delta, not the process cumulative
@@ -104,8 +128,18 @@ def verify(
         # the vocabulary size is meaningful on every exit path, including
         # TIMEOUT/UNKNOWN (how far refinement got before giving up)
         result.num_predicates = len(fh.predicates)
+        if store is not None:
+            # the store and run_cached agree on what is memoizable:
+            # exploration logs persist for solved verdicts only — a
+            # TIMEOUT/UNKNOWN/ERROR must stay re-queryable
+            if result.verdict.solved:
+                _record_exploration(
+                    store, program, order, config, checker, result, fh
+                )
+            store.flush()
         result.query_stats = QueryStats.collect(
-            solver, commutativity, checker, kernel_baseline=kernel_baseline
+            solver, commutativity, checker, kernel_baseline=kernel_baseline,
+            store=store, store_baseline=store_baseline,
         )
         # verify() boundary is the kernel's compaction point: clear the
         # process-wide derived memos once they outgrow their budget so
@@ -121,7 +155,9 @@ def verify(
             tracemalloc.stop()
         return result
 
-    fh = FloydHoareAutomaton([], solver, incremental=config.incremental)
+    fh = FloydHoareAutomaton(
+        [], solver, incremental=config.incremental, proof_store=store
+    )
     cache = UselessStateCache() if (
         config.use_useless_cache and config.search == "dfs"
     ) else None
@@ -239,6 +275,82 @@ def verify(
 
     result.verdict = Verdict.TIMEOUT
     return finish(result)
+
+
+def _record_exploration(
+    store, program, order, config, checker, result, fh
+) -> None:
+    """Persist the run's exploration log (kind ``explore``).
+
+    Keyed by the program's content digest plus the run configuration, so
+    a re-verification (or a delta-verification of an edited program that
+    hashes differently) can read what the previous run did: verdict,
+    rounds, per-round state counts, proof predicates (canonically
+    serialized, re-interned on load), and the checker's warm-start/
+    engine summary.  Only called for solved verdicts — budget-dependent
+    outcomes are never persisted.
+    """
+    from ..store import (
+        KIND_EXPLORE,
+        pair_digest,
+        program_digest,
+        term_to_obj,
+    )
+
+    key = pair_digest(
+        program_digest(program),
+        order.name.encode(),
+        config.search.encode(),
+        config.mode.encode(),
+        b"inc" if config.incremental else b"scratch",
+    )
+    record = {
+        "program": program.name,
+        "order": order.name,
+        "verdict": result.verdict.value,
+        "rounds": result.rounds,
+        "proof_size": result.proof_size,
+        "num_predicates": len(fh.predicates),
+        "states_per_round": [r.states_explored for r in result.round_stats],
+        "counterexample": (
+            [s.label for s in result.counterexample]
+            if result.counterexample is not None
+            else None
+        ),
+        "predicates": [term_to_obj(p) for p in fh.predicates],
+        "exploration": checker.exploration_summary(),
+    }
+    store.put(KIND_EXPLORE, key, record)
+
+
+def load_exploration(
+    store, program, order_name: str, config: "VerifierConfig"
+):
+    """The stored exploration record for this program/configuration.
+
+    Returns ``(record, predicates)`` with the proof predicates
+    re-interned through the kernel's ``_reintern`` hook, or ``None`` if
+    the store has no (readable) record.  Malformed predicate encodings
+    degrade to an empty predicate list, never an exception.
+    """
+    from ..store import KIND_EXPLORE, pair_digest, program_digest, term_from_obj
+
+    key = pair_digest(
+        program_digest(program),
+        order_name.encode(),
+        config.search.encode(),
+        config.mode.encode(),
+        b"inc" if config.incremental else b"scratch",
+    )
+    record = store.get(KIND_EXPLORE, key)
+    if not isinstance(record, dict):
+        return None
+    predicates = []
+    try:
+        predicates = [term_from_obj(obj) for obj in record.get("predicates", ())]
+    except (ValueError, TypeError, KeyError, IndexError):
+        predicates = []
+    return record, tuple(predicates)
 
 
 def _deadline_epoch(started: float, time_budget: float | None) -> float | None:

@@ -38,6 +38,9 @@ _CSV_FIELDS = (
     "intern_hit_rate",
     "substitute_hit_rate",
     "reintern_count",
+    "store_hits",
+    "store_hit_rate",
+    "store_writes",
     "failure_reason",
     "attempts",
     "respawns",
@@ -84,6 +87,9 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                     f"{qs.substitute_hit_rate:.4f}" if qs else ""
                 ),
                 "reintern_count": qs.reintern_count if qs else "",
+                "store_hits": qs.store_hits if qs else "",
+                "store_hit_rate": f"{qs.store_hit_rate:.4f}" if qs else "",
+                "store_writes": qs.store_writes if qs else "",
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

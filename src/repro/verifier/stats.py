@@ -106,6 +106,13 @@ class QueryStats:
     substitute_misses: int = 0
     free_vars_calls: int = 0
     kernel_compactions: int = 0
+    # persistent proof store (repro.store); deltas over this run when a
+    # baseline snapshot is supplied (the store is shared process-wide).
+    # ``store_entries`` is the absolute store size after the run.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_entries: int = 0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -158,6 +165,14 @@ class QueryStats:
         """Always 1.0 once called: ``free_vars`` is precomputed per node."""
         return 1.0 if self.free_vars_calls else 0.0
 
+    @property
+    def store_hit_rate(self) -> float:
+        """Fraction of persistent-store probes answered from disk."""
+        asked = self.store_hits + self.store_misses
+        if not asked:
+            return 0.0
+        return self.store_hits / asked
+
     @classmethod
     def collect(
         cls,
@@ -165,6 +180,8 @@ class QueryStats:
         commutativity=None,
         checker: "ProofChecker | None" = None,
         kernel_baseline: dict | None = None,
+        store=None,
+        store_baseline: dict | None = None,
     ) -> "QueryStats":
         """Snapshot counters from the run's collaborators.
 
@@ -227,6 +244,17 @@ class QueryStats:
             out.fh_initial_delta_hits = checker.fh_initial_delta_hits
             out.warm_start_reused = checker.warm_start_reused
             out.warm_start_dirty = checker.warm_start_dirty
+        if store is not None:
+            counters = store.counters()
+            base = store_baseline or {}
+            out.store_hits = counters["store_hits"] - base.get("store_hits", 0)
+            out.store_misses = (
+                counters["store_misses"] - base.get("store_misses", 0)
+            )
+            out.store_writes = (
+                counters["store_writes"] - base.get("store_writes", 0)
+            )
+            out.store_entries = counters["store_entries"]  # absolute
         return out
 
     def as_dict(self) -> dict:
@@ -237,6 +265,7 @@ class QueryStats:
         out["intern_hit_rate"] = round(self.intern_hit_rate, 4)
         out["substitute_hit_rate"] = round(self.substitute_hit_rate, 4)
         out["free_vars_hit_rate"] = round(self.free_vars_hit_rate, 4)
+        out["store_hit_rate"] = round(self.store_hit_rate, 4)
         return out
 
     def summary(self) -> str:
@@ -283,6 +312,11 @@ class QueryStats:
             f"substitute hit rate {self.substitute_hit_rate:.1%}, "
             f"{self.free_vars_calls} free_vars calls (precomputed), "
             f"{self.reintern_count} re-interned",
+            "proof store:   "
+            f"hit rate {self.store_hit_rate:.1%} "
+            f"(hits {self.store_hits}, misses {self.store_misses}), "
+            f"{self.store_writes} writes, "
+            f"{self.store_entries} entries on disk",
         ]
         return "\n".join(lines)
 

@@ -1,0 +1,226 @@
+"""ProofStore mechanics: segments, flush, compaction, registry, stats.
+
+Corruption and fault injection live in test_store_faults.py; these tests
+cover the happy-path format contract — atomic append-only segments, the
+later-segments-win merge, the LRU-approximating eviction policy, and the
+process-wide registry.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.store import (
+    FORMAT_VERSION,
+    KIND_COMM,
+    KIND_SAT,
+    ProofStore,
+    open_store,
+    reset_store_registry,
+)
+from repro.store.store import MANIFEST_NAME, SEGMENT_PREFIX, _frame, _unframe
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_store_registry()
+    yield
+    reset_store_registry()
+
+
+def test_put_get_flush_reload(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    key = b"\x01" * 16
+    assert store.get(KIND_SAT, key) is None
+    store.put(KIND_SAT, key, True)
+    assert store.get(KIND_SAT, key) is True  # pending entries are visible
+    assert store.flush() == 1
+    again = ProofStore(tmp_path / "s")
+    assert again.get(KIND_SAT, key) is True
+    assert again.stats.hits == 1 and again.stats.misses == 0
+
+
+def test_manifest_written_and_versioned(tmp_path):
+    ProofStore(tmp_path / "s")
+    meta = json.loads((tmp_path / "s" / MANIFEST_NAME).read_text())
+    assert meta["format"] == FORMAT_VERSION
+
+
+def test_each_flush_is_one_new_segment(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    for i in range(3):
+        store.put(KIND_SAT, bytes([i]) * 16, bool(i % 2))
+        store.flush()
+    segments = [
+        p for p in (tmp_path / "s").iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    ]
+    assert len(segments) == 3
+    again = ProofStore(tmp_path / "s")
+    assert len(again) == 3
+
+
+def test_empty_flush_writes_nothing(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    assert store.flush() == 0
+    assert not [
+        p for p in (tmp_path / "s").iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    ]
+
+
+def test_rewrite_same_value_is_not_a_write(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    key = b"\x02" * 16
+    store.put(KIND_SAT, key, True)
+    store.flush()
+    writes = store.stats.writes
+    store.put(KIND_SAT, key, True)  # already durable with this value
+    assert store.stats.writes == writes
+    assert store.flush() == 0
+
+
+def test_later_segments_win_on_collision(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    key = b"\x03" * 16
+    store.put(KIND_SAT, key, False)
+    store.flush()
+    store.put(KIND_SAT, key, True)
+    store.flush()
+    again = ProofStore(tmp_path / "s")
+    assert again.get(KIND_SAT, key) is True
+
+
+def test_kinds_are_separate_namespaces(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    key = b"\x04" * 16
+    store.put(KIND_SAT, key, True)
+    store.put(KIND_COMM, key, False)
+    store.flush()
+    again = ProofStore(tmp_path / "s")
+    assert again.get(KIND_SAT, key) is True
+    assert again.get(KIND_COMM, key) is False
+
+
+def test_json_values_round_trip(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    record = {"verdict": "correct", "rounds": 3, "states": [7, 5, 2]}
+    store.put(KIND_SAT, b"\x05" * 16, record)
+    store.flush()
+    assert ProofStore(tmp_path / "s").get(KIND_SAT, b"\x05" * 16) == record
+
+
+def test_compaction_merges_segments_and_caps_size(tmp_path):
+    store = ProofStore(tmp_path / "s", max_records=10)
+    for i in range(10):
+        store.put(KIND_SAT, bytes([i]) * 16, True)
+    store.flush()
+    # touch (hit) the first five: they must survive eviction
+    for i in range(5):
+        assert ProofStore(tmp_path / "s", max_records=10)  # no-op reads
+    warm = store
+    for i in range(5):
+        warm.get(KIND_SAT, bytes([i]) * 16)
+    fresh = ProofStore(tmp_path / "s", max_records=10)
+    for i in range(10, 18):
+        fresh.put(KIND_SAT, bytes([i]) * 16, True)
+    fresh.get(KIND_SAT, bytes([0]) * 16)  # touch one old entry
+    fresh.flush()  # 18 > 10 triggers compaction
+    segments = [
+        p for p in (tmp_path / "s").iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    ]
+    assert len(segments) == 1  # merged down to one segment
+    merged = ProofStore(tmp_path / "s", max_records=10)
+    assert len(merged) == 10
+    # the touched old entry and all this-process writes survived
+    assert merged.get(KIND_SAT, bytes([0]) * 16) is True
+    for i in range(10, 18):
+        assert merged.get(KIND_SAT, bytes([i]) * 16) is True
+
+
+def test_manifest_capacity_overrides_default(tmp_path):
+    ProofStore(tmp_path / "s", max_records=7)
+    again = ProofStore(tmp_path / "s", max_records=999)
+    assert again.max_records == 7  # the on-disk manifest wins
+
+
+def test_counters_shape(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    store.put(KIND_SAT, b"\x06" * 16, True)
+    store.get(KIND_SAT, b"\x06" * 16)
+    store.get(KIND_SAT, b"\x07" * 16)
+    counters = store.counters()
+    assert counters["store_hits"] == 1
+    assert counters["store_misses"] == 1
+    assert counters["store_writes"] == 1
+    assert counters["store_sat_hits"] == 1
+    assert counters["store_entries"] == 1
+    assert counters["store_load_warnings"] == 0
+
+
+def test_contains_does_not_touch_counters(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    store.put(KIND_SAT, b"\x08" * 16, True)
+    before = (store.stats.hits, store.stats.misses)
+    assert store.contains(KIND_SAT, b"\x08" * 16)
+    assert not store.contains(KIND_SAT, b"\x09" * 16)
+    assert (store.stats.hits, store.stats.misses) == before
+
+
+def test_open_store_is_process_shared(tmp_path):
+    a = open_store(tmp_path / "s")
+    b = open_store(tmp_path / "s")
+    assert a is b
+    reset_store_registry()
+    assert open_store(tmp_path / "s") is not a
+
+
+def test_concurrent_writers_unique_segments(tmp_path):
+    # two instances on the same directory (stand-in for two processes):
+    # their flushes never collide, and a reader sees the union
+    a = ProofStore(tmp_path / "s")
+    b = ProofStore(tmp_path / "s")
+    b._flush_seq = 500  # distinct names even under one pid
+    a.put(KIND_SAT, b"\x0a" * 16, True)
+    b.put(KIND_SAT, b"\x0b" * 16, False)
+    a.flush()
+    b.flush()
+    merged = ProofStore(tmp_path / "s")
+    assert merged.get(KIND_SAT, b"\x0a" * 16) is True
+    assert merged.get(KIND_SAT, b"\x0b" * 16) is False
+
+
+def test_frame_unframe_round_trip():
+    payload = json.dumps({"k": "sat", "key": "00ff", "v": True})
+    line = _frame(payload)
+    assert line.endswith("\n")
+    assert _unframe(line) == payload
+    crc = f"{zlib.crc32(payload.encode()):08x}"
+    assert line.startswith(crc + ":")
+    # any bit flip in the payload fails the checksum
+    assert _unframe(line.replace("true", "faux")) is None
+    assert _unframe("nocolonhere") is None
+    assert _unframe("zzzzzzzz:" + payload) is None
+
+
+def test_atomic_write_leaves_no_tmp_files(tmp_path):
+    store = ProofStore(tmp_path / "s")
+    store.put(KIND_SAT, b"\x0c" * 16, True)
+    store.flush()
+    leftovers = [p for p in (tmp_path / "s").iterdir() if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_unknown_directory_degrades_to_disabled(tmp_path, caplog):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory")
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(target)
+    assert store.disabled
+    assert any("cold" in r.message for r in caplog.records)
+    # a disabled store is inert but safe to use
+    store.put(KIND_SAT, b"\x0d" * 16, True)
+    assert store.get(KIND_SAT, b"\x0d" * 16) is None
+    assert store.flush() == 0

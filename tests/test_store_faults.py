@@ -1,0 +1,210 @@
+"""Corruption and crash tolerance of the proof store.
+
+The failure model: any damage to the store directory — truncated
+segments, flipped bits, version-skewed or garbage manifests, writers
+killed mid-flush — degrades to a cold start with a logged warning.
+The store may serve fewer hits; it must never crash the verifier or
+serve a wrong verdict.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.store import (
+    FORMAT_VERSION,
+    KIND_SAT,
+    ProofStore,
+    reset_store_registry,
+)
+from repro.store.store import MANIFEST_NAME, _frame
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_store_registry()
+    yield
+    reset_store_registry()
+
+
+def _seed_store(path, n=4):
+    store = ProofStore(path)
+    for i in range(n):
+        store.put(KIND_SAT, bytes([i]) * 16, True)
+    store.flush()
+    return sorted(
+        p for p in Path(path).iterdir() if p.name.startswith("segment-")
+    )
+
+
+def test_truncated_segment_tail_dropped(tmp_path, caplog):
+    (segment,) = _seed_store(tmp_path / "s")
+    text = segment.read_text()
+    segment.write_text(text + "deadbeef:{\"k\": \"sat\", \"key\": \"ff")
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(tmp_path / "s")
+    assert not store.disabled
+    assert len(store) == 4  # intact prefix fully served
+    assert store.load_warnings == 1
+    assert any("corrupt record" in r.message for r in caplog.records)
+
+
+def test_flipped_byte_fails_crc(tmp_path, caplog):
+    (segment,) = _seed_store(tmp_path / "s")
+    lines = segment.read_text().splitlines(keepends=True)
+    lines[1] = lines[1].replace("true", "false", 1)  # bit-flip a verdict
+    segment.write_text("".join(lines))
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(tmp_path / "s")
+    assert not store.disabled
+    assert len(store) == 3  # the damaged record is gone, not wrong
+    assert store.get(KIND_SAT, bytes([1]) * 16) is None
+    assert store.load_warnings == 1
+
+
+def test_garbage_segment_content(tmp_path, caplog):
+    (segment,) = _seed_store(tmp_path / "s")
+    segment.write_bytes(b"\x00\xff" * 512 + b"\n")
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(tmp_path / "s")
+    assert not store.disabled
+    assert len(store) == 0
+    assert store.load_warnings == 1
+
+
+def test_valid_crc_invalid_json_dropped(tmp_path):
+    path = tmp_path / "s"
+    _seed_store(path, n=1)
+    (path / "segment-zz.log").write_text(_frame("{not json"))
+    store = ProofStore(path)
+    assert len(store) == 1
+    assert store.load_warnings == 1
+
+
+def test_valid_crc_unknown_kind_dropped(tmp_path):
+    path = tmp_path / "s"
+    _seed_store(path, n=1)
+    payload = json.dumps({"k": "future-kind", "key": "00ff", "v": 1})
+    (path / "segment-zz.log").write_text(_frame(payload))
+    store = ProofStore(path)
+    assert len(store) == 1  # forward-incompatible record skipped
+    assert store.load_warnings == 1
+
+
+def test_manifest_version_skew_disables(tmp_path, caplog):
+    path = tmp_path / "s"
+    _seed_store(path)
+    (path / MANIFEST_NAME).write_text(
+        json.dumps({"format": FORMAT_VERSION + 1})
+    )
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(path)
+    assert store.disabled
+    assert any("format version" in r.message for r in caplog.records)
+    # disabled: no hits, no writes, no flush — foreign data untouched
+    assert store.get(KIND_SAT, bytes([0]) * 16) is None
+    store.put(KIND_SAT, b"\x10" * 16, True)
+    assert store.flush() == 0
+
+
+def test_garbage_manifest_disables(tmp_path, caplog):
+    path = tmp_path / "s"
+    _seed_store(path)
+    (path / MANIFEST_NAME).write_text("{]" * 10)
+    with caplog.at_level("WARNING", logger="repro.store"):
+        store = ProofStore(path)
+    assert store.disabled
+    assert any("manifest" in r.message for r in caplog.records)
+
+
+def test_stale_tmp_files_ignored(tmp_path):
+    path = tmp_path / "s"
+    _seed_store(path)
+    # a writer died between staging and os.replace: its tmp is invisible
+    (path / ".segment-99999999-000000.log.tmp.1234").write_text("partial")
+    store = ProofStore(path)
+    assert not store.disabled
+    assert len(store) == 4
+    assert store.load_warnings == 0
+
+
+def test_sigkill_mid_flush_leaves_valid_store(tmp_path):
+    # a writer process killed while flushing thousands of records must
+    # leave either nothing or fully valid segments (atomic publish)
+    path = tmp_path / "s"
+    script = (
+        "import os, sys\n"
+        "from repro.store import ProofStore, KIND_SAT\n"
+        f"store = ProofStore({str(path)!r})\n"
+        "i = 0\n"
+        "while True:\n"
+        "    store.put(KIND_SAT, i.to_bytes(16, 'big'), True)\n"
+        "    i += 1\n"
+        "    if i % 100 == 0:\n"
+        "        store.flush()\n"
+        "        print('flushed', flush=True)\n"
+    )
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    proc.stdout.readline()  # at least one flush happened
+    proc.kill()
+    proc.wait()
+    store = ProofStore(path)
+    assert not store.disabled
+    # every surviving record is a fully framed write
+    assert len(store) >= 100
+    assert len(store) % 100 == 0 or store.load_warnings == 0
+    for i in range(100):
+        assert store.get(KIND_SAT, i.to_bytes(16, "big")) is True
+
+
+def test_verifier_survives_corrupt_store(tmp_path, caplog):
+    # end to end: a trashed store directory never changes the verdict
+    from repro.benchmarks import all_benchmarks
+    from repro.core import ConditionalCommutativity
+    from repro.core.preference import ThreadUniformOrder
+    from repro.logic import Solver
+    from repro.verifier import VerifierConfig, verify
+
+    path = tmp_path / "s"
+    path.mkdir()
+    (path / MANIFEST_NAME).write_text("not a manifest at all")
+    (path / "segment-corrupt.log").write_bytes(os.urandom(256))
+    bench = next(b for b in all_benchmarks() if "mutex" in b.name)
+    config = VerifierConfig(store_path=str(path), time_budget=30)
+    with caplog.at_level("WARNING", logger="repro.store"):
+        solver = Solver()
+        result = verify(
+            bench.build(), ThreadUniformOrder(),
+            ConditionalCommutativity(solver), config=config, solver=solver,
+        )
+    assert result.verdict.value == "correct"
+    assert result.query_stats.store_hits == 0  # ran fully cold
+    assert caplog.records  # and said so
+
+
+def test_flush_failure_keeps_records_pending(tmp_path, caplog, monkeypatch):
+    store = ProofStore(tmp_path / "s")
+    store.put(KIND_SAT, b"\x11" * 16, True)
+
+    def boom(path, text):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.store.store._atomic_write", boom)
+    with caplog.at_level("WARNING", logger="repro.store"):
+        assert store.flush() == 0
+    assert any("flush failed" in r.message for r in caplog.records)
+    monkeypatch.undo()
+    assert store.flush() == 1  # records survived for the next attempt
+    assert ProofStore(tmp_path / "s").get(KIND_SAT, b"\x11" * 16) is True
