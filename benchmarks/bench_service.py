@@ -1,0 +1,359 @@
+"""Verification-service load bench: chaos throughput with pinned counters.
+
+Two workloads against a real ``repro serve`` subprocess:
+
+* **smoke** (always runs; also the CI job): 24 mixed jobs submitted as
+  one batch against a queue depth of 16 — the batch-aware admission
+  check sheds exactly 8 with ``queue_full`` — with a seeded fault plan
+  hard-killing 40% of first attempts.  Because job ids are sequential
+  (``j000001``…) and victim selection is a pure function of
+  ``(seed, job id)``, every service counter is deterministic: the run
+  is compared **exactly** against ``benchmarks/service_baseline.json``.
+  Latency and throughput are printed but not asserted
+  (machine-dependent).
+
+* **load** (``-m slow``): 200 mixed jobs across 4 workers with faults
+  injected into 25% of first attempts (past the ISSUE's 20% bar).
+  The acceptance bar: zero lost jobs (every accepted id reaches
+  ``done``) and zero wrong verdicts (each result fingerprint is
+  bit-identical to a direct in-process ``verify()`` of the same
+  program), while throughput and p50/p95/p99 latency are reported
+  along with shed/retry/breaker counters.
+
+To regenerate the smoke baseline after an *intentional* change::
+
+    REPRO_REGEN_BASELINE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/bench_service.py -q --benchmark-disable
+
+``python benchmarks/bench_service.py --smoke`` runs the smoke workload
+standalone (no pytest) and exits nonzero on any lost or wrong verdict —
+the shape the CI smoke job invokes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchmarks import by_name  # noqa: E402
+from repro.core import ConditionalCommutativity, ThreadUniformOrder  # noqa: E402
+from repro.harness import atomic_write_text, emit  # noqa: E402
+from repro.logic import Solver  # noqa: E402
+from repro.service.client import wait_for_server  # noqa: E402
+from repro.service.worker import job_fingerprint  # noqa: E402
+from repro.verifier import VerifierConfig, verify  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "service_baseline.json"
+
+#: the mixed job cycle: mostly cheap mutex-family members, one buggy
+#: member so counterexample payloads flow through the service, and a
+#: bluetooth member for a heavier proof (used sparingly: ~0.8s each)
+JOB_CYCLE = (
+    "inc-dec(2)",
+    "mutex-atomic(2)",
+    "mutex-atomic(2)-bug",
+    "inc-dec(2)",
+    "mutex-atomic(2)",
+    "bluetooth(2)",
+)
+TENANTS = ("alice", "bob")
+
+#: counters that are pure functions of (job batch, fault seed, depth);
+#: pinned exactly against the baseline — any drift is a behavior change
+PINNED_COUNTERS = (
+    "submitted",
+    "accepted",
+    "completed",
+    "cancelled",
+    "retries",
+    "shed",
+    "shed_queue_full",
+    "shed_tenant_budget",
+    "shed_breaker",
+    "shed_draining",
+    "rejected_bad_spec",
+    "worker_crashes",
+    "worker_timeouts",
+    "breaker_fastfail",
+    "faults_injected",
+    "breaker_trips",
+)
+
+
+def job_batch(n: int) -> list[dict]:
+    return [
+        {
+            "bench": JOB_CYCLE[i % len(JOB_CYCLE)],
+            "tenant": TENANTS[i % len(TENANTS)],
+        }
+        for i in range(n)
+    ]
+
+
+def direct_fingerprints() -> dict[str, dict]:
+    """One in-process verify() per distinct program: the ground truth
+    every service verdict must match bit-for-bit."""
+    out = {}
+    for name in set(JOB_CYCLE):
+        solver = Solver()
+        result = verify(
+            by_name(name).build(),
+            ThreadUniformOrder(),
+            ConditionalCommutativity(solver),
+            config=VerifierConfig(max_rounds=60),
+            solver=solver,
+        )
+        out[name] = job_fingerprint(result)
+    return out
+
+
+def spawn_server(
+    tmp: Path,
+    *,
+    workers: int,
+    depth: int,
+    fault_fraction: float,
+    seed: int = 9,
+    tenant_outstanding: int = 64,
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            str(tmp / "s.sock"),
+            "--journal",
+            str(tmp / "jobs.journal"),
+            "--workers",
+            str(workers),
+            "--max-queue-depth",
+            str(depth),
+            "--max-tenant-outstanding",
+            str(tenant_outstanding),
+            "--max-attempts",
+            "3",
+            # a fault is one hard os._exit per victim, retried clean:
+            # keep the breaker out of the deterministic smoke picture
+            "--breaker-threshold",
+            "99",
+            "--inject-faults",
+            f"seed={seed};exit_at=1",
+            "--fault-fraction",
+            str(fault_fraction),
+            "--fault-attempts",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, math.ceil(q * len(sorted_vals)) - 1))
+    return sorted_vals[idx]
+
+
+def run_load(
+    tmp: Path,
+    *,
+    n_jobs: int,
+    workers: int,
+    depth: int,
+    fault_fraction: float,
+    tenant_outstanding: int = 64,
+    wait_timeout: float = 600.0,
+) -> dict:
+    """Submit *n_jobs* as one batch, wait for every accepted job, and
+    return counters + per-job results + wall-clock."""
+    proc = spawn_server(
+        tmp,
+        workers=workers,
+        depth=depth,
+        fault_fraction=fault_fraction,
+        tenant_outstanding=tenant_outstanding,
+    )
+    try:
+        client = wait_for_server(str(tmp / "s.sock"), timeout=60)
+        started = time.perf_counter()
+        reply = client.submit(job_batch(n_jobs))
+        entries = reply["jobs"]
+        accepted = [e["id"] for e in entries if "id" in e]
+        shed = [e for e in entries if "id" not in e]
+        views = client.wait_all(accepted, timeout=wait_timeout)
+        wall = time.perf_counter() - started
+        stats = client.stats()
+        client.drain()
+        client.close()
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    # reply entries are positional with the submitted batch, so the
+    # name map stays right even when sheds interleave with accepts
+    names = {
+        entry["id"]: spec["bench"]
+        for entry, spec in zip(entries, job_batch(n_jobs))
+        if "id" in entry
+    }
+    return {
+        "accepted": accepted,
+        "shed": shed,
+        "views": views,
+        "names": names,
+        "counters": stats,
+        "wall": wall,
+        "exit_code": proc.returncode,
+    }
+
+
+def check_no_lost_no_wrong(run: dict, expected: dict[str, dict]) -> list[str]:
+    """The chaos acceptance bar: every accepted job done, every verdict
+    bit-identical to the direct run.  Returns a list of violations."""
+    problems = []
+    if set(run["views"]) != set(run["accepted"]):
+        problems.append(
+            f"lost jobs: {sorted(set(run['accepted']) - set(run['views']))}"
+        )
+    for jid, view in run["views"].items():
+        if view.get("state") != "done":
+            problems.append(f"{jid}: state {view.get('state')!r}, not done")
+            continue
+        want = expected[run["names"][jid]]
+        got = job_fingerprint(view["result"])
+        if got != want:
+            problems.append(f"{jid} ({run['names'][jid]}): verdict diverged")
+    return problems
+
+
+def report(tag: str, run: dict) -> None:
+    counters = run["counters"]
+    lats = sorted(
+        v["result"]["service_seconds"]
+        for v in run["views"].values()
+        if v.get("result")
+    )
+    done = len(run["views"])
+    lines = [
+        f"jobs: {counters['submitted']} submitted, "
+        f"{counters['accepted']} accepted, {counters['shed']} shed, "
+        f"{done} completed",
+        f"chaos: {counters['faults_injected']} faults, "
+        f"{counters['worker_crashes']} crashes, "
+        f"{counters['retries']} retries, "
+        f"{counters['breaker_trips']} breaker trips",
+        f"verdicts: {counters['verdicts']}",
+        f"throughput: {done / run['wall']:.1f} jobs/s "
+        f"({run['wall']:.2f}s wall)",
+        f"latency: p50 {percentile(lats, 0.50):.3f}s  "
+        f"p95 {percentile(lats, 0.95):.3f}s  "
+        f"p99 {percentile(lats, 0.99):.3f}s",
+    ]
+    emit(tag, lines)
+
+
+def smoke_workload(tmp: Path) -> dict:
+    # one batch of 24 against depth 16: the batch-aware admission bound
+    # sheds the last 8 deterministically (queue_full), before any worker
+    # can drain the queue
+    return run_load(tmp, n_jobs=24, workers=2, depth=16, fault_fraction=0.4)
+
+
+def test_service_smoke_counters_match_baseline(benchmark, tmp_path):
+    run = benchmark.pedantic(
+        smoke_workload, args=(tmp_path,), rounds=1, iterations=1
+    )
+    assert run["exit_code"] == 0, "server must drain cleanly"
+    problems = check_no_lost_no_wrong(run, direct_fingerprints())
+    assert not problems, problems
+    assert all(e.get("reason") == "queue_full" for e in run["shed"])
+
+    observed = {k: run["counters"][k] for k in PINNED_COUNTERS}
+    observed["verdicts"] = run["counters"]["verdicts"]
+    if os.environ.get("REPRO_REGEN_BASELINE"):
+        atomic_write_text(
+            BASELINE_PATH, json.dumps(observed, indent=2) + "\n"
+        )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    report("bench_service_smoke", run)
+    assert observed == baseline, (
+        "service smoke counters drifted from benchmarks/"
+        "service_baseline.json (intentional change? regenerate with "
+        "REPRO_REGEN_BASELINE=1)"
+    )
+    # the fleet counters ride the standard per-result export paths
+    from repro.verifier.reporting import results_to_csv
+
+    header = results_to_csv([]).splitlines()[0]
+    for col in ("service_jobs", "service_retries", "service_shed",
+                "service_breaker_trips"):
+        assert col in header
+
+
+@pytest.mark.slow
+def test_service_load_chaos(tmp_path):
+    # the full bar: 200 mixed jobs, 4 workers, 25% of first attempts
+    # hard-killed; no job lost, no verdict wrong, fairness and retry
+    # machinery all exercised at once
+    run = run_load(
+        tmp_path, n_jobs=200, workers=4, depth=512, fault_fraction=0.25,
+        tenant_outstanding=256,
+    )
+    assert run["exit_code"] == 0
+    assert len(run["accepted"]) == 200 and not run["shed"]
+    problems = check_no_lost_no_wrong(run, direct_fingerprints())
+    assert not problems, problems
+    counters = run["counters"]
+    # chaos genuinely fired at scale: the seeded Bernoulli(0.25) victim
+    # draw over 200 ids lands near 50; 20 is far below any plausible
+    # draw, so a miss means injection silently stopped working
+    assert counters["faults_injected"] >= 20
+    assert counters["worker_crashes"] == counters["faults_injected"]
+    assert counters["retries"] >= counters["faults_injected"]
+    report("bench_service_load", run)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the 24-job smoke workload (default: 200-job load)",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory() as tmp:
+        if args.smoke:
+            run = smoke_workload(Path(tmp))
+        else:
+            run = run_load(
+                Path(tmp), n_jobs=200, workers=4, depth=512,
+                fault_fraction=0.25, tenant_outstanding=256,
+            )
+    problems = check_no_lost_no_wrong(run, direct_fingerprints())
+    report("bench_service_smoke" if args.smoke else "bench_service_load", run)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

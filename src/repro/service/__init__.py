@@ -1,0 +1,83 @@
+"""Verification-as-a-service: the resilient asyncio job server.
+
+``repro serve`` turns the crash-contained runtime (PR 2) and the
+persistent proof store (PR 6) into a long-lived, fault-tolerant
+system: a journaled crash-recoverable work queue, a worker-pool
+scheduler over isolated processes, admission control with load
+shedding, per-tenant budgets with weighted-fair scheduling, retries,
+a circuit breaker, and graceful drain.  See ``docs/service.md``.
+
+This ``__init__`` imports only :mod:`repro.service.policy` eagerly —
+the policy layer is shared with :mod:`repro.verifier.runtime`, which
+imports during ``repro.verifier`` package initialization; the server,
+client, queue, and journal load lazily on first attribute access.
+"""
+
+from .policy import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    ServicePolicies,
+    TenantPolicy,
+    TokenBudget,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ServicePolicies",
+    "TenantPolicy",
+    "TokenBudget",
+    # lazily loaded (see __getattr__)
+    "DEFAULT_SOCKET",
+    "FairQueue",
+    "Job",
+    "JobJournal",
+    "JobState",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "VerificationService",
+    "job_fingerprint",
+    "result_payload",
+    "serve",
+    "serve_main",
+    "wait_for_server",
+]
+
+_LAZY = {
+    "DEFAULT_SOCKET": ("protocol", "DEFAULT_SOCKET"),
+    "ProtocolError": ("protocol", "ProtocolError"),
+    "JobJournal": ("journal", "JobJournal"),
+    "FairQueue": ("queue", "FairQueue"),
+    "Job": ("queue", "Job"),
+    "JobState": ("queue", "JobState"),
+    "ServiceConfig": ("server", "ServiceConfig"),
+    "VerificationService": ("server", "VerificationService"),
+    "serve": ("server", "serve"),
+    "serve_main": ("server", "serve_main"),
+    "ServiceClient": ("client", "ServiceClient"),
+    "ServiceError": ("client", "ServiceError"),
+    "wait_for_server": ("client", "wait_for_server"),
+    "job_fingerprint": ("worker", "job_fingerprint"),
+    "result_payload": ("worker", "result_payload"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

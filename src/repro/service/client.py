@@ -1,0 +1,176 @@
+"""Synchronous client for the verification service.
+
+Used by ``repro submit`` / ``repro status``, the test suite, and the
+load-generator bench.  One :class:`ServiceClient` holds one socket
+connection; requests are serialized on it (the protocol is
+request/reply per line, with ``wait --stream`` interleaving event lines
+before the final reply).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """The server replied with ``ok: false`` (carries the reply)."""
+
+    def __init__(self, reply: dict) -> None:
+        super().__init__(
+            f"{reply.get('error', 'error')}: {reply.get('reason', '')}"
+        )
+        self.reply = reply
+
+
+class ServiceClient:
+    """A blocking NDJSON client over the service's Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str = protocol.DEFAULT_SOCKET,
+        *,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._file = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read_reply(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def request(self, message: dict) -> dict:
+        """One request → the final reply (raises on ``ok: false``)."""
+        self._sock.sendall(protocol.encode(message))
+        reply = self._read_reply()
+        if not reply.get("ok", False) and "event" not in reply:
+            raise ServiceError(reply)
+        return reply
+
+    # -- operations ----------------------------------------------------------
+
+    def submit(self, jobs: list[dict]) -> dict:
+        """Admit a batch; the reply's ``jobs`` list is positional
+        (``{"id": ...}`` or a shed entry per input job)."""
+        return self.request({"op": "submit", "jobs": jobs})
+
+    def submit_one(self, job: dict) -> str:
+        """Admit one job and return its id (raises if it was shed)."""
+        reply = self.submit([job])
+        entry = reply["jobs"][0]
+        if "id" not in entry:
+            raise ServiceError(entry)
+        return entry["id"]
+
+    def status(self, job_id: str | None = None) -> dict:
+        message: dict = {"op": "status"}
+        if job_id is not None:
+            message["id"] = job_id
+        return self.request(message)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        on_event=None,
+    ) -> dict:
+        """Block until *job_id* is terminal; returns its job view.
+
+        With *on_event*, progress/attempt/retry events are streamed to
+        the callback while the job runs.
+        """
+        message: dict = {"op": "wait", "id": job_id}
+        if timeout is not None:
+            message["timeout"] = timeout
+        if on_event is not None:
+            message["stream"] = True
+        self._sock.sendall(protocol.encode(message))
+        while True:
+            reply = self._read_reply()
+            if "event" in reply:
+                if on_event is not None:
+                    on_event(reply)
+                continue
+            if not reply.get("ok", False):
+                raise ServiceError(reply)
+            return reply["job"]
+
+    def wait_all(
+        self, job_ids: list[str], *, timeout: float | None = None
+    ) -> dict[str, dict]:
+        """Wait for many jobs; returns id → job view."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        views: dict[str, dict] = {}
+        for job_id in job_ids:
+            remaining = None
+            if deadline is not None:
+                remaining = max(deadline - time.monotonic(), 0.01)
+            views[job_id] = self.wait(job_id, timeout=remaining)
+        return views
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request({"op": "cancel", "id": job_id})
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def pause(self) -> dict:
+        return self.request({"op": "pause"})
+
+    def resume(self) -> dict:
+        return self.request({"op": "resume"})
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+
+def wait_for_server(
+    socket_path: str,
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.1,
+) -> ServiceClient:
+    """Poll until a server answers ``health`` on *socket_path*.
+
+    The standard rendezvous for tests and the bench: start
+    ``repro serve`` as a subprocess, then ``wait_for_server(...)``.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            client = ServiceClient(socket_path, timeout=timeout)
+            client.health()
+            return client
+        except (OSError, ConnectionError, ServiceError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(
+        f"no server on {socket_path} within {timeout}s: {last_error}"
+    )

@@ -1,0 +1,212 @@
+"""Append-only, CRC-framed job journal — the queue's durability spine.
+
+The journal reuses the proof store's record framing
+(:func:`repro.store.store.frame_record`): one record per line,
+``<crc32 hex>:<json>\\n``, so torn tails from a SIGKILLed writer and
+bit-flipped lines are detected and dropped on replay, never guessed at.
+
+Record types (the ``t`` field):
+
+* ``accept`` — a job entered the queue.  Written and **fsynced before
+  the submit reply**, so an acknowledged job survives any crash.
+* ``done`` — a job reached a terminal verdict; carries the result
+  payload so clients can query finished jobs across a restart.
+* ``cancel`` — a queued/running job was cancelled by a client.
+
+Replay folds the records: jobs with an ``accept`` but no ``done`` /
+``cancel`` are re-enqueued in original order (exactly-once admission —
+zero duplicated, zero lost); finished jobs keep their results.  On
+startup the journal is *compacted*: rewritten atomically with only the
+live fold (pending accepts + the most recent ``retain_done`` finished
+jobs), which bounds the file without losing recoverable state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..store.store import _atomic_write, _frame, _unframe
+
+log = logging.getLogger("repro.service")
+
+#: how many finished-job records a startup compaction keeps (newest
+#: first) so clients can still fetch results across a restart
+DEFAULT_RETAIN_DONE = 512
+
+ACCEPT = "accept"
+DONE = "done"
+CANCEL = "cancel"
+
+_TYPES = (ACCEPT, DONE, CANCEL)
+
+
+@dataclass
+class ReplayState:
+    """The fold of a journal: what a restarted server must know."""
+
+    #: job-spec dicts accepted but not finished, in accept order
+    pending: list[dict] = field(default_factory=list)
+    #: job id → result payload of finished jobs
+    done: dict[str, dict] = field(default_factory=dict)
+    #: job ids cancelled before completion
+    cancelled: set[str] = field(default_factory=set)
+    #: highest job sequence number ever accepted (id allocation resumes
+    #: above it so a reused id can never collide across restarts)
+    max_seq: int = 0
+    #: corrupt/unparseable lines dropped during replay
+    corrupt_records: int = 0
+
+
+class JobJournal:
+    """One open journal file; see the module docstring for the format."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.appended = 0
+        self.synced = 0
+        self._fh = None
+
+    # -- write ---------------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, record: dict, *, sync: bool = True) -> None:
+        """Append one record; with *sync* the line is fsynced before
+        returning (the accept path — the durability the submit ack
+        promises)."""
+        payload = json.dumps(record, separators=(",", ":"))
+        fh = self._handle()
+        fh.write(_frame(payload))
+        fh.flush()
+        self.appended += 1
+        if sync:
+            os.fsync(fh.fileno())
+            self.synced += 1
+
+    def accept(self, job_spec: dict) -> None:
+        self.append({"t": ACCEPT, "job": job_spec}, sync=True)
+
+    def done(self, job_id: str, result: dict) -> None:
+        # terminal records need not gate the reply: a lost ``done`` only
+        # means the job re-runs after a crash, deterministically, and the
+        # fresh result replaces the lost one
+        self.append({"t": DONE, "id": job_id, "result": result}, sync=False)
+
+    def cancel(self, job_id: str) -> None:
+        self.append({"t": CANCEL, "id": job_id}, sync=False)
+
+    def sync(self) -> None:
+        """Fsync any buffered records (the drain path)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> ReplayState:
+        """Fold the journal into the state a restarting server needs."""
+        state = ReplayState()
+        if not self.path.exists():
+            return state
+        try:
+            text = self.path.read_text(errors="replace")
+        except OSError as exc:
+            log.warning(
+                "job journal %s unreadable (%s); starting empty",
+                self.path, exc,
+            )
+            state.corrupt_records += 1
+            return state
+        pending: dict[str, dict] = {}
+        for line in text.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                state.corrupt_records += 1  # torn tail: writer was killed
+                continue
+            payload = _unframe(line)
+            if payload is None:
+                state.corrupt_records += 1
+                continue
+            try:
+                record = json.loads(payload)
+                kind = record["t"]
+            except (ValueError, KeyError, TypeError):
+                state.corrupt_records += 1
+                continue
+            if kind == ACCEPT:
+                job = record.get("job")
+                job_id = job.get("id") if isinstance(job, dict) else None
+                if not isinstance(job_id, str):
+                    state.corrupt_records += 1
+                    continue
+                # last accept wins, but never resurrect a finished job
+                if job_id not in state.done and job_id not in state.cancelled:
+                    pending[job_id] = job
+                seq = job.get("seq")
+                if isinstance(seq, int):
+                    state.max_seq = max(state.max_seq, seq)
+            elif kind == DONE:
+                job_id = record.get("id")
+                if not isinstance(job_id, str):
+                    state.corrupt_records += 1
+                    continue
+                pending.pop(job_id, None)
+                state.done[job_id] = record.get("result") or {}
+            elif kind == CANCEL:
+                job_id = record.get("id")
+                if not isinstance(job_id, str):
+                    state.corrupt_records += 1
+                    continue
+                pending.pop(job_id, None)
+                state.cancelled.add(job_id)
+            else:
+                state.corrupt_records += 1
+        state.pending = list(pending.values())
+        if state.corrupt_records:
+            log.warning(
+                "job journal %s: %d corrupt record(s) dropped on replay",
+                self.path, state.corrupt_records,
+            )
+        return state
+
+    def compact(
+        self, state: ReplayState, *, retain_done: int = DEFAULT_RETAIN_DONE
+    ) -> None:
+        """Atomically rewrite the journal as the fold of *state*.
+
+        Called at startup after :meth:`replay`; pending accepts are kept
+        verbatim (order preserved), finished jobs beyond *retain_done*
+        (oldest first) are dropped.
+        """
+        self.close()
+        lines: list[str] = []
+        kept_done = list(state.done.items())[-retain_done:] if retain_done else []
+        for job_id, result in kept_done:
+            lines.append(
+                _frame(
+                    json.dumps(
+                        {"t": DONE, "id": job_id, "result": result},
+                        separators=(",", ":"),
+                    )
+                )
+            )
+        for job in state.pending:
+            lines.append(
+                _frame(
+                    json.dumps({"t": ACCEPT, "job": job}, separators=(",", ":"))
+                )
+            )
+        _atomic_write(self.path, "".join(lines))

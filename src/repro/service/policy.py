@@ -1,0 +1,255 @@
+"""Shared robustness policies for the verification service and runtime.
+
+This module is the one home of the *policy* objects that both the PR 2
+parallel portfolio runtime and the long-lived service layer apply to
+unreliable work:
+
+* :class:`RetryPolicy` — bounded, escalating, deterministically
+  jittered retries (generalized out of ``verifier/runtime.py``; the
+  runtime re-exports it unchanged, so ``repro.verifier.RetryPolicy``
+  keeps working).
+* :class:`AdmissionPolicy` — bounded queue depth and per-tenant
+  outstanding-cost budgets, the load-shedding front door.
+* :class:`TokenBudget` — a tenant's outstanding-cost account.
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` — quarantine of a
+  (tenant, corpus-family) key after repeated worker crashes, with a
+  half-open probe after a cooldown.
+
+Everything here is deterministic given its inputs: retries are seeded,
+budgets are pure arithmetic, and the breaker takes the clock as an
+argument (``now``) so tests drive it with a virtual clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..verifier.faults import derive_seed
+from ..verifier.stats import Verdict
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, escalating, deterministically-jittered member retries.
+
+    ``max_attempts`` counts total runs of a member (1 = never retry).
+    Each retry multiplies the solver branch/node budgets, the
+    verification time budget, and the watchdog deadline by
+    ``budget_scale`` (cumulatively), and waits
+    ``backoff_seconds * budget_scale**(attempt-1)`` plus a seeded jitter
+    before respawning, so a crashing member cannot hot-loop.
+    """
+
+    max_attempts: int = 1
+    budget_scale: float = 2.0
+    backoff_seconds: float = 0.05
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: frozenset = frozenset(
+        {Verdict.UNKNOWN, Verdict.TIMEOUT, Verdict.ERROR}
+    )
+
+    def scale(self, attempt: int) -> float:
+        """Budget multiplier for *attempt* (1-based; attempt 1 → 1.0)."""
+        return self.budget_scale ** (attempt - 1)
+
+    def backoff(self, member: str, attempt: int) -> float:
+        """Deterministic jittered pause before respawning *member*."""
+        import random
+
+        rng = random.Random(derive_seed(self.seed, f"{member}#{attempt}"))
+        base = self.backoff_seconds * self.scale(attempt)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def schedule(self, member: str, attempts: int | None = None) -> list[float]:
+        """The full backoff schedule for *member* (test/debug preview).
+
+        Replays :meth:`backoff` for attempts ``1..attempts`` (default:
+        ``max_attempts``), so two previews of the same policy and member
+        always agree — the property the determinism tests pin.
+        """
+        n = self.max_attempts if attempts is None else attempts
+        return [self.backoff(member, attempt) for attempt in range(1, n + 1)]
+
+    def wants_retry(self, verdict: Verdict, attempt: int) -> bool:
+        return verdict in self.retry_on and attempt < self.max_attempts
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The service's load-shedding front door.
+
+    ``max_queue_depth`` bounds jobs *queued* (not yet running) across
+    all tenants; ``max_tenant_outstanding`` bounds one tenant's
+    queued + running cost (its default :class:`TokenBudget` capacity).
+    Admission never blocks: a submit either enters the journaled queue
+    or is shed immediately with a reason the client can act on.
+    """
+
+    max_queue_depth: int = 256
+    max_tenant_outstanding: int = 64
+
+    #: shed reasons (stable strings — part of the wire protocol)
+    SHED_QUEUE_FULL = "queue_full"
+    SHED_TENANT_BUDGET = "tenant_budget"
+    SHED_BREAKER_OPEN = "breaker_open"
+    SHED_DRAINING = "draining"
+
+
+class TokenBudget:
+    """One tenant's outstanding-cost account.
+
+    ``acquire`` is called at admission (cost of the submitted job),
+    ``release`` when the job reaches a terminal state.  The budget is
+    intentionally *not* time-replenished: it bounds concurrent exposure,
+    which is what protects the fleet from one pathological tenant.
+    """
+
+    __slots__ = ("capacity", "in_flight")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.in_flight = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_flight
+
+    def acquire(self, cost: int = 1) -> bool:
+        if self.in_flight + cost > self.capacity:
+            return False
+        self.in_flight += cost
+        return True
+
+    def release(self, cost: int = 1) -> None:
+        self.in_flight = max(0, self.in_flight - cost)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tunables of the per-(tenant, family) circuit breaker."""
+
+    #: worker crashes within ``window_seconds`` that open the breaker
+    threshold: int = 3
+    window_seconds: float = 30.0
+    #: how long an open breaker rejects before allowing one probe
+    cooldown_seconds: float = 5.0
+
+
+class CircuitBreaker:
+    """Quarantine keys (tenant or corpus family) that keep killing workers.
+
+    States per key: *closed* (normal), *open* (rejecting until
+    ``cooldown_seconds`` after the trip), *half-open* (cooldown elapsed;
+    exactly one probe job may run — its success closes the breaker, its
+    failure re-opens it).  Failures are *worker-level* faults (process
+    death, watchdog kill), not honest UNKNOWN verdicts: a hard program
+    is not an outage, a crashing worker is.
+
+    All methods take ``now`` explicitly (monotonic seconds) so the
+    state machine is a pure function of its call history.
+    """
+
+    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.trips = 0
+        self._failures: dict[str, deque[float]] = {}
+        self._opened_at: dict[str, float] = {}
+        self._probing: set[str] = set()
+
+    def _prune(self, key: str, now: float) -> deque[float]:
+        window = self._failures.setdefault(key, deque())
+        horizon = now - self.policy.window_seconds
+        while window and window[0] < horizon:
+            window.popleft()
+        return window
+
+    def is_open(self, key: str, now: float) -> bool:
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return False
+        if now - opened < self.policy.cooldown_seconds:
+            return True
+        # cooldown elapsed: half-open — one probe allowed at a time
+        return key in self._probing
+
+    def allow(self, key: str, now: float) -> bool:
+        """May a job for *key* start right now?  Claims the half-open
+        probe slot when the cooldown has elapsed."""
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return True
+        if now - opened < self.policy.cooldown_seconds:
+            return False
+        if key in self._probing:
+            return False
+        self._probing.add(key)
+        return True
+
+    def record_failure(self, key: str, now: float) -> bool:
+        """Count a worker-level failure; returns True when this one
+        trips the breaker open (including a failed half-open probe)."""
+        self._probing.discard(key)
+        if key in self._opened_at:
+            # failed probe (or failure of a job admitted pre-trip):
+            # restart the cooldown
+            self._opened_at[key] = now
+            return True
+        window = self._prune(key, now)
+        window.append(now)
+        if len(window) >= self.policy.threshold:
+            self._opened_at[key] = now
+            self.trips += 1
+            window.clear()
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        """A completed job for *key*: closes a half-open breaker."""
+        self._probing.discard(key)
+        self._opened_at.pop(key, None)
+        window = self._failures.get(key)
+        if window:
+            window.clear()
+
+    def open_keys(self, now: float) -> list[str]:
+        return sorted(k for k in self._opened_at if self.is_open(k, now))
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant scheduling knobs: fair-share weight and budget cap.
+
+    ``weight`` scales the tenant's share of the weighted-fair dequeue
+    (2.0 = twice the service rate of a weight-1.0 tenant under
+    contention); ``budget`` overrides the admission policy's default
+    outstanding-cost capacity when set.
+    """
+
+    weight: float = 1.0
+    budget: int | None = None
+
+
+@dataclass
+class ServicePolicies:
+    """The bundle the server is configured with."""
+
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3)
+    )
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantPolicy:
+        return self.tenants.get(name, TenantPolicy())
+
+    def budget_for(self, name: str) -> TokenBudget:
+        override = self.tenant(name).budget
+        capacity = (
+            override
+            if override is not None
+            else self.admission.max_tenant_outstanding
+        )
+        return TokenBudget(capacity)

@@ -56,6 +56,11 @@ MANIFEST_NAME = "manifest.json"
 SEGMENT_PREFIX = "segment-"
 SEGMENT_SUFFIX = ".log"
 
+#: advisory lock file serializing compaction across processes (two
+#: concurrent compactors could each rewrite-and-delete the other's
+#: freshly merged segment; the loser now skips instead)
+COMPACT_LOCK_NAME = "compact.lock"
+
 #: default capacity: entries beyond this trigger compaction + eviction
 DEFAULT_MAX_RECORDS = 500_000
 
@@ -331,6 +336,43 @@ class ProofStore:
             return
         self.compact()
 
+    def _acquire_compaction_lock(self):
+        """A non-blocking advisory ``flock`` on the compaction lock file.
+
+        Returns the open file descriptor (caller must close it to
+        release) or ``None`` when another process — or another handle in
+        this one — holds the lock.  On platforms without ``fcntl`` the
+        guard degrades to unlocked compaction (the pre-lock behavior).
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            return -1
+        try:
+            fd = os.open(
+                self.path / COMPACT_LOCK_NAME, os.O_CREAT | os.O_RDWR, 0o644
+            )
+        except OSError as exc:
+            log.warning(
+                "proof store %s: cannot open compaction lock (%s); "
+                "skipping compaction",
+                self.path, exc,
+            )
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    def _release_compaction_lock(self, fd) -> None:
+        if isinstance(fd, int) and fd >= 0:
+            try:
+                os.close(fd)  # closing drops the flock
+            except OSError:  # pragma: no cover - already closed
+                pass
+
     def compact(self) -> int:
         """Merge all segments into one, evicting beyond ``max_records``.
 
@@ -338,9 +380,28 @@ class ProofStore:
         evicted first, oldest segment order first; touched entries are
         kept preferentially — an LRU approximation.  Returns the number
         of evicted entries.
+
+        Cross-process safety: compaction holds an advisory file lock
+        (:data:`COMPACT_LOCK_NAME`); a process that loses the race skips
+        its compaction (returns 0, pending records stay pending) rather
+        than deleting segments the winner may just have rewritten.
         """
         if self.disabled:
             return 0
+        lock_fd = self._acquire_compaction_lock()
+        if lock_fd is None:
+            log.warning(
+                "proof store %s: compaction lock held by another process; "
+                "skipping this compaction",
+                self.path,
+            )
+            return 0
+        try:
+            return self._compact_locked()
+        finally:
+            self._release_compaction_lock(lock_fd)
+
+    def _compact_locked(self) -> int:
         merged = dict(self._entries)
         merged.update(self._pending)
         evicted = 0

@@ -41,6 +41,10 @@ _CSV_FIELDS = (
     "store_hits",
     "store_hit_rate",
     "store_writes",
+    "service_jobs",
+    "service_retries",
+    "service_shed",
+    "service_breaker_trips",
     "failure_reason",
     "attempts",
     "respawns",
@@ -90,6 +94,12 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "store_hits": qs.store_hits if qs else "",
                 "store_hit_rate": f"{qs.store_hit_rate:.4f}" if qs else "",
                 "store_writes": qs.store_writes if qs else "",
+                "service_jobs": qs.service_jobs if qs else "",
+                "service_retries": qs.service_retries if qs else "",
+                "service_shed": qs.service_shed if qs else "",
+                "service_breaker_trips": (
+                    qs.service_breaker_trips if qs else ""
+                ),
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as signal_module
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from multiprocessing import connection as mp_connection
@@ -49,7 +51,12 @@ from ..core.commutativity import (
 from ..core.preference import PreferenceOrder
 from ..lang.program import ConcurrentProgram
 from ..logic import Solver
-from .faults import ENV_VAR, FaultInjector, FaultPlan, MemberFaultPlan, derive_seed
+
+# the retry policy generalized out of this module (PR 7): it now lives
+# with the other service policies; re-exported here so
+# ``repro.verifier.RetryPolicy`` remains the stable import path
+from ..service.policy import RetryPolicy
+from .faults import ENV_VAR, FaultInjector, FaultPlan, MemberFaultPlan
 from .refinement import VerifierConfig, verify
 from .stats import Verdict, VerificationResult
 
@@ -116,43 +123,6 @@ class DegradingCommutativity(ConditionalCommutativity):
         result = super().commute_under(phi, a, b)
         self._maybe_degrade()
         return result
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded, escalating, deterministically-jittered member retries.
-
-    ``max_attempts`` counts total runs of a member (1 = never retry).
-    Each retry multiplies the solver branch/node budgets, the
-    verification time budget, and the watchdog deadline by
-    ``budget_scale`` (cumulatively), and waits
-    ``backoff_seconds * budget_scale**(attempt-1)`` plus a seeded jitter
-    before respawning, so a crashing member cannot hot-loop.
-    """
-
-    max_attempts: int = 1
-    budget_scale: float = 2.0
-    backoff_seconds: float = 0.05
-    jitter: float = 0.5
-    seed: int = 0
-    retry_on: frozenset = frozenset(
-        {Verdict.UNKNOWN, Verdict.TIMEOUT, Verdict.ERROR}
-    )
-
-    def scale(self, attempt: int) -> float:
-        """Budget multiplier for *attempt* (1-based; attempt 1 → 1.0)."""
-        return self.budget_scale ** (attempt - 1)
-
-    def backoff(self, member: str, attempt: int) -> float:
-        """Deterministic jittered pause before respawning *member*."""
-        import random
-
-        rng = random.Random(derive_seed(self.seed, f"{member}#{attempt}"))
-        base = self.backoff_seconds * self.scale(attempt)
-        return base * (1.0 + self.jitter * rng.random())
-
-    def wants_retry(self, verdict: Verdict, attempt: int) -> bool:
-        return verdict in self.retry_on and attempt < self.max_attempts
 
 
 def _member_worker(
@@ -367,9 +337,48 @@ def run_parallel_portfolio(
                 result.time_seconds = now - member.spawned_at
         member.final = result
 
+    # graceful termination: a SIGTERM/SIGINT to the parent must cancel
+    # and reap the workers (no orphan process trees) and still return a
+    # complete PortfolioResult — every unfinished member becomes a
+    # contained Verdict.ERROR.  Handlers can only be installed from the
+    # main thread; elsewhere (e.g. a service scheduler thread) the
+    # process-level handler owns the signal and this stays inert.
+    received_signals: list[int] = []
+    previous_handlers: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                previous_handlers[sig] = signal_module.signal(
+                    sig, lambda signum, frame: received_signals.append(signum)
+                )
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+
+    def terminate(signum: int) -> None:
+        """Cancel + reap every unfinished member after a signal."""
+        name = signal_module.Signals(signum).name
+        for member in members:
+            if member.final is not None:
+                continue
+            was_running = member.running
+            reap(member)
+            result = synthesize(
+                Verdict.ERROR,
+                member,
+                f"terminated by {name}: worker cancelled and reaped",
+            )
+            result.attempts = max(member.attempt, 1)
+            result.respawns = max(member.attempt - 1, 0)
+            if not was_running:
+                result.time_seconds = 0.0
+            member.final = result
+
     winner: VerificationResult | None = None
     try:
         while winner is None and any(m.final is None for m in members):
+            if received_signals:
+                terminate(received_signals[0])
+                break
             now = time.perf_counter()
             for member in members:
                 if (
@@ -457,6 +466,11 @@ def run_parallel_portfolio(
     finally:
         for member in members:
             reap(member)
+        for sig, handler in previous_handlers.items():
+            try:
+                signal_module.signal(sig, handler)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
 
     outcome.members = [m.final for m in members]
     outcome.wall_seconds = time.perf_counter() - started

@@ -113,6 +113,13 @@ class QueryStats:
     store_misses: int = 0
     store_writes: int = 0
     store_entries: int = 0
+    # verification service (repro.service); fleet-level counters folded
+    # into each job's result by the server so they ride the existing
+    # CSV/JSON/--show-cache-stats paths.  Zero outside service runs.
+    service_jobs: int = 0
+    service_retries: int = 0
+    service_shed: int = 0
+    service_breaker_trips: int = 0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -257,6 +264,14 @@ class QueryStats:
             out.store_entries = counters["store_entries"]  # absolute
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryStats":
+        """Rebuild from :meth:`as_dict` output (service result payloads
+        cross a process + JSON boundary).  Unknown keys — the derived
+        hit rates, forward-compat fields — are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
     def as_dict(self) -> dict:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["solver_hit_rate"] = round(self.solver_hit_rate, 4)
@@ -318,6 +333,19 @@ class QueryStats:
             f"{self.store_writes} writes, "
             f"{self.store_entries} entries on disk",
         ]
+        if (
+            self.service_jobs
+            or self.service_retries
+            or self.service_shed
+            or self.service_breaker_trips
+        ):
+            lines.append(
+                "service:       "
+                f"{self.service_jobs} jobs completed, "
+                f"{self.service_retries} retries, "
+                f"{self.service_shed} shed, "
+                f"{self.service_breaker_trips} breaker trips"
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,161 @@
+"""Durability tests for the CRC-framed job journal: replay folds,
+torn-tail and corruption handling, exactly-once admission across
+restarts, and startup compaction."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.journal import DONE, JobJournal, ReplayState
+from repro.store.store import _frame
+
+
+def spec(n: int, **extra) -> dict:
+    out = {"id": f"j{n:06d}", "seq": n, "bench": "inc-dec(2)", "name": "x"}
+    out.update(extra)
+    return out
+
+
+def test_replay_empty_missing_file(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    state = journal.replay()
+    assert state.pending == []
+    assert state.done == {}
+    assert state.max_seq == 0
+    assert state.corrupt_records == 0
+
+
+def test_accept_done_cancel_fold(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.accept(spec(1))
+    journal.accept(spec(2))
+    journal.accept(spec(3))
+    journal.done("j000001", {"verdict": "correct"})
+    journal.cancel("j000003")
+    journal.close()
+
+    state = JobJournal(journal.path).replay()
+    assert [j["id"] for j in state.pending] == ["j000002"]
+    assert state.done == {"j000001": {"verdict": "correct"}}
+    assert state.cancelled == {"j000003"}
+    assert state.max_seq == 3
+
+
+def test_torn_tail_dropped_but_prefix_survives(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.accept(spec(1))
+    journal.accept(spec(2))
+    journal.close()
+    # simulate a SIGKILL mid-append: a partial, newline-less record
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write(_frame(json.dumps({"t": "accept", "job": spec(3)}))[:-7])
+
+    state = JobJournal(journal.path).replay()
+    assert [j["id"] for j in state.pending] == ["j000001", "j000002"]
+    assert state.corrupt_records == 1
+    # seq allocation resumes above the surviving records only
+    assert state.max_seq == 2
+
+
+def test_corrupt_line_dropped_not_fatal(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.accept(spec(1))
+    journal.close()
+    lines = journal.path.read_text().splitlines(keepends=True)
+    # bit-flip the framed payload: CRC mismatch
+    bad = lines[0].replace("accept", "acXept")
+    journal.path.write_text(bad + lines[0])
+
+    state = JobJournal(journal.path).replay()
+    assert state.corrupt_records == 1
+    assert [j["id"] for j in state.pending] == ["j000001"]
+
+
+def test_unknown_record_type_counts_corrupt(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.append({"t": "banana", "id": "j1"}, sync=False)
+    journal.accept(spec(1))
+    journal.close()
+    state = JobJournal(journal.path).replay()
+    assert state.corrupt_records == 1
+    assert len(state.pending) == 1
+
+
+def test_done_after_replayed_accept_never_resurrects(tmp_path):
+    # crash after done, restart, the same accept replays later in a
+    # compacted file: a finished job must stay finished
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.done("j000001", {"verdict": "correct"})
+    journal.accept(spec(1))
+    journal.close()
+    state = JobJournal(journal.path).replay()
+    assert state.pending == []
+    assert "j000001" in state.done
+
+
+def test_compact_preserves_fold(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    for n in range(1, 6):
+        journal.accept(spec(n))
+    journal.done("j000001", {"verdict": "correct"})
+    journal.done("j000002", {"verdict": "incorrect"})
+    journal.cancel("j000005")
+    state = journal.replay()
+    journal.compact(state)
+
+    replayed = JobJournal(journal.path).replay()
+    assert [j["id"] for j in replayed.pending] == ["j000003", "j000004"]
+    assert set(replayed.done) == {"j000001", "j000002"}
+    # compaction rewrote the file smaller (no cancel/duplicate records)
+    assert journal.path.read_text().count("\n") == 4
+
+
+def test_compact_retain_done_bound(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    state = ReplayState()
+    for n in range(1, 11):
+        state.done[f"j{n:06d}"] = {"verdict": "correct"}
+    journal.compact(state, retain_done=3)
+    replayed = JobJournal(journal.path).replay()
+    # newest three survive
+    assert set(replayed.done) == {"j000008", "j000009", "j000010"}
+
+
+def test_exactly_once_across_double_restart(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.accept(spec(1))
+    journal.accept(spec(2))
+    journal.close()
+
+    # restart 1: replay, compact, finish one job
+    j2 = JobJournal(journal.path)
+    state = j2.replay()
+    assert [j["id"] for j in state.pending] == ["j000001", "j000002"]
+    j2.compact(state)
+    j2.done("j000001", {"verdict": "correct"})
+    j2.close()
+
+    # restart 2: the finished job must not re-enqueue, the pending one
+    # must appear exactly once
+    state2 = JobJournal(journal.path).replay()
+    assert [j["id"] for j in state2.pending] == ["j000002"]
+    assert set(state2.done) == {"j000001"}
+    assert state2.max_seq == 2
+
+
+def test_append_sync_counters(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.accept(spec(1))  # fsynced
+    journal.done("j000001", {})  # buffered
+    assert journal.appended == 2
+    assert journal.synced == 1
+    journal.close()
+
+
+def test_replay_tolerates_record_without_newline_type(tmp_path):
+    journal = JobJournal(tmp_path / "j.journal")
+    journal.append({"no_type": True}, sync=False)
+    journal.append({"t": DONE, "id": 42}, sync=False)  # non-str id
+    journal.close()
+    state = JobJournal(journal.path).replay()
+    assert state.corrupt_records == 2

@@ -1,0 +1,160 @@
+"""Unit tests for the shared service policy layer: retry determinism
+(the schedule a respawning member follows must be reproducible from the
+seed alone), admission budgets, and the circuit-breaker state machine.
+"""
+
+from __future__ import annotations
+
+from repro.service.policy import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    ServicePolicies,
+    TenantPolicy,
+    TokenBudget,
+)
+from repro.verifier import RetryPolicy as RuntimeRetryPolicy
+from repro.verifier.stats import Verdict
+
+
+class TestRetryPolicyDeterminism:
+    def test_runtime_reexport_is_the_same_class(self):
+        # the policy was generalized out of verifier/runtime.py; both
+        # import paths must resolve to one class, not two copies
+        assert RuntimeRetryPolicy is RetryPolicy
+
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(max_attempts=5, seed=11, jitter=0.5)
+        b = RetryPolicy(max_attempts=5, seed=11, jitter=0.5)
+        assert a.schedule("seq") == b.schedule("seq")
+        assert a.schedule("j000042") == b.schedule("j000042")
+
+    def test_different_seed_different_schedule(self):
+        a = RetryPolicy(max_attempts=4, seed=1)
+        b = RetryPolicy(max_attempts=4, seed=2)
+        assert a.schedule("seq") != b.schedule("seq")
+
+    def test_different_member_different_jitter(self):
+        policy = RetryPolicy(max_attempts=4, seed=7)
+        assert policy.schedule("seq") != policy.schedule("lockstep")
+
+    def test_schedule_replays_backoff_exactly(self):
+        policy = RetryPolicy(max_attempts=6, seed=3)
+        preview = policy.schedule("m")
+        assert preview == [policy.backoff("m", n) for n in range(1, 7)]
+        # calling backoff out of order must not perturb the schedule
+        policy.backoff("m", 3)
+        policy.backoff("m", 1)
+        assert policy.schedule("m") == preview
+
+    def test_backoff_monotone_base_escalation(self):
+        # jitter is bounded by 50%, escalation doubles: with jitter off
+        # the schedule is strictly increasing, and each jittered delay
+        # stays within [base, base * (1 + jitter)]
+        plain = RetryPolicy(max_attempts=6, jitter=0.0, backoff_seconds=0.05)
+        schedule = plain.schedule("m")
+        assert schedule == sorted(schedule)
+        assert all(b > a for a, b in zip(schedule, schedule[1:]))
+        jittered = RetryPolicy(
+            max_attempts=6, jitter=0.5, backoff_seconds=0.05, seed=9
+        )
+        for attempt, delay in enumerate(jittered.schedule("m"), start=1):
+            base = 0.05 * jittered.scale(attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_budget_scale_monotone(self):
+        policy = RetryPolicy(max_attempts=5, budget_scale=2.0)
+        scales = [policy.scale(n) for n in range(1, 6)]
+        assert scales == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_wants_retry_only_on_retryable(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.wants_retry(Verdict.ERROR, 1)
+        assert policy.wants_retry(Verdict.TIMEOUT, 2)
+        assert not policy.wants_retry(Verdict.ERROR, 3)
+        assert not policy.wants_retry(Verdict.CORRECT, 1)
+        assert not policy.wants_retry(Verdict.INCORRECT, 1)
+
+
+class TestTokenBudget:
+    def test_acquire_release_cycle(self):
+        budget = TokenBudget(3)
+        assert budget.acquire(2)
+        assert budget.available == 1
+        assert not budget.acquire(2)
+        assert budget.acquire(1)
+        budget.release(3)
+        assert budget.available == 3
+
+    def test_release_never_goes_negative(self):
+        budget = TokenBudget(2)
+        budget.release(5)
+        assert budget.in_flight == 0
+
+
+class TestServicePolicies:
+    def test_tenant_budget_override(self):
+        policies = ServicePolicies(
+            admission=AdmissionPolicy(max_tenant_outstanding=10),
+            tenants={"big": TenantPolicy(weight=2.0, budget=50)},
+        )
+        assert policies.budget_for("big").capacity == 50
+        assert policies.budget_for("anon").capacity == 10
+        assert policies.tenant("big").weight == 2.0
+        assert policies.tenant("anon").weight == 1.0
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=5.0, window=30.0):
+        return CircuitBreaker(
+            BreakerPolicy(
+                threshold=threshold,
+                cooldown_seconds=cooldown,
+                window_seconds=window,
+            )
+        )
+
+    def test_trips_at_threshold(self):
+        breaker = self.make(threshold=3)
+        assert not breaker.record_failure("t/f", 1.0)
+        assert not breaker.record_failure("t/f", 2.0)
+        assert breaker.record_failure("t/f", 3.0)
+        assert breaker.trips == 1
+        assert breaker.is_open("t/f", 3.5)
+        assert not breaker.allow("t/f", 3.5)
+        assert breaker.open_keys(3.5) == ["t/f"]
+
+    def test_window_prunes_old_failures(self):
+        breaker = self.make(threshold=3, window=10.0)
+        breaker.record_failure("k", 0.0)
+        breaker.record_failure("k", 1.0)
+        # the first two fall out of the window; this is failure #1 again
+        assert not breaker.record_failure("k", 20.0)
+        assert not breaker.is_open("k", 20.0)
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = self.make(threshold=1, cooldown=5.0)
+        assert breaker.record_failure("k", 0.0)
+        assert not breaker.allow("k", 1.0)  # still cooling down
+        assert breaker.allow("k", 6.0)  # half-open: the probe slot
+        assert not breaker.allow("k", 6.0)  # ...only one probe at a time
+        breaker.record_success("k")
+        assert not breaker.is_open("k", 6.1)
+        assert breaker.allow("k", 6.1)
+
+    def test_failed_probe_reopens(self):
+        breaker = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure("k", 0.0)
+        assert breaker.allow("k", 6.0)
+        assert breaker.record_failure("k", 6.1)  # the probe died
+        assert breaker.is_open("k", 7.0)
+        assert not breaker.allow("k", 10.0)  # cooldown restarted at 6.1
+        assert breaker.allow("k", 11.2)
+
+    def test_keys_are_independent(self):
+        breaker = self.make(threshold=1)
+        breaker.record_failure("a/x", 0.0)
+        assert breaker.is_open("a/x", 0.1)
+        assert not breaker.is_open("a/y", 0.1)
+        assert breaker.allow("b/x", 0.1)
