@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 
 from repro.benchmarks import all_benchmarks
+from repro.verifier import default_engine
 from repro.harness import (
     atomic_write_text,
     cache_summary,
@@ -35,16 +36,21 @@ _HISTORY = [
     {"pr": "PR1 solver+commutativity caches", "wall_seconds": 519.8},
     {"pr": "PR3 unified exploration stack", "wall_seconds": 508.5},
     {"pr": "PR4 hash-consed term kernel", "wall_seconds": 443.4},
+    {"pr": "PR5 incremental CEGAR rounds", "wall_seconds": 430.2},
 ]
 
 
 def _emit_trajectory(wall: float, caches: dict) -> None:
     entry = {
-        "pr": "PR5 incremental CEGAR rounds",
+        "pr": "PR8 integer-kernel fast path",
         "wall_seconds": round(wall, 1),
         "budget_seconds": float(os.environ.get("REPRO_BUDGET", "20")),
+        "engine": default_engine(),
         "fh_step_delta_hits": caches["fh_step_delta_hits"],
         "warm_start_reused": caches["warm_start_reused"],
+        "fastpath_rounds": caches["fastpath_rounds"],
+        "fastpath_step_hits": caches["fastpath_step_hits"],
+        "fastpath_fallbacks": caches["fastpath_fallbacks"],
     }
     payload = {"trajectory": [*_HISTORY, entry]}
     atomic_write_text(TRAJECTORY_PATH, json.dumps(payload, indent=2) + "\n")

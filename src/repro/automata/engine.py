@@ -335,7 +335,10 @@ class WorklistEngine(Generic[State, Letter]):
             stack.append(("leave", state, letter, parent))
             if expand is not None and not expand(state):
                 continue
-            for a, nxt in reversed(list(self.successors(state))):
+            successors = self.successors(state)
+            if not isinstance(successors, (list, tuple)):
+                successors = list(successors)
+            for a, nxt in reversed(successors):
                 stack.append(("visit", nxt, a, state))
         return self._finish(None, None, seen)
 

@@ -30,7 +30,7 @@ from .core import (
 )
 from .lang import ConcurrentProgram, ParseError, parse
 from .logic import Solver
-from .verifier import VerifierConfig, verify, verify_portfolio
+from .verifier import ENGINE_CHOICES, VerifierConfig, default_engine, verify, verify_portfolio
 
 
 def _read_program(path: str) -> ConcurrentProgram:
@@ -81,6 +81,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         simplify_proof=args.show_proof,
         incremental=not args.no_incremental,
         store_path=_store_path(args),
+        engine=args.engine or default_engine(),
     )
     if args.per_thread:
         from .verifier import combine_verdicts, verify_each_thread
@@ -141,6 +142,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         time_budget=args.timeout,
         incremental=not args.no_incremental,
         store_path=_store_path(args),
+        engine=args.engine or default_engine(),
     )
     if args.parallel_portfolio:
         from .verifier import RetryPolicy
@@ -234,6 +236,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_rounds=args.max_rounds,
             time_budget=args.timeout,
             store_path=_store_path(args),
+            engine=args.engine or default_engine(),
         ),
         policies=ServicePolicies(
             admission=AdmissionPolicy(
@@ -267,6 +270,8 @@ def _submit_spec(args: argparse.Namespace, *, bench=None, path=None) -> dict:
         spec["max_attempts"] = args.max_attempts
     if args.cost != 1:
         spec["cost"] = args.cost
+    if args.engine is not None:
+        spec["engine"] = args.engine
     return spec
 
 
@@ -356,6 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def engine_flag(p):
+        p.add_argument(
+            "--engine", default=None, choices=ENGINE_CHOICES,
+            help="exploration engine: 'pure' (rich-object layers, the "
+                 "differential oracle) or 'fast' (integer ids/bitmasks; "
+                 "bit-identical exploration, falls back to pure when the "
+                 "alphabet exceeds 64 letters); defaults to REPRO_ENGINE "
+                 "or 'pure'",
+        )
+
     def common(p):
         p.add_argument("file", help="program file ('-' for stdin)")
         p.add_argument("--max-rounds", type=int, default=60)
@@ -364,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--show-cache-stats", action="store_true",
             help="report solver/commutativity query counts and cache hit rates",
         )
+        engine_flag(p)
         p.add_argument(
             "--no-incremental", action="store_true",
             help="disable incremental CEGAR rounds (delta-aware "
@@ -499,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--proof-store", metavar="PATH", default=None)
     p_serve.add_argument("--no-proof-store", action="store_true")
+    engine_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -535,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
     )
     p_submit.add_argument("--show-cache-stats", action="store_true")
+    engine_flag(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
 
     p_status = sub.add_parser(

@@ -193,6 +193,13 @@ class SleepLayer:
         the proof checker threads the current assertion φ into a ↷↷_φ b
         without a second copy of the rule.  Passing ``None`` explicitly
         disables sleep tracking for the call (S' = ∅).
+
+        Lazy by design: each edge's sleep set (and hence its
+        commutativity queries) is computed only when the consumer asks
+        for that edge, so engines that abort an expansion mid-way
+        (budget/deadline checks) never pay for the unconsumed tail.
+        The ⋖-sorted memo view is still fetched once per (q, ctx)
+        expansion and reused for every yielded edge.
         """
         edges = self.context.ordered_edges(q, ctx)
         if not edges:

@@ -61,6 +61,15 @@ class ThreadUniformOrder:
 
     def __init__(self, priority: Sequence[int] | None = None, name: str = "seq") -> None:
         self._priority = list(priority) if priority is not None else None
+        # rank dict precomputed once per order object: ``key`` is called
+        # once per edge per comparison in red_lex-style checks and in the
+        # engines' edge sorts, and a per-call ``list.index`` scan made
+        # every lookup O(|threads|)
+        self._rank = (
+            {thread: i for i, thread in enumerate(self._priority)}
+            if self._priority is not None
+            else None
+        )
         self.name = name
 
     def initial_context(self) -> Context:
@@ -70,10 +79,12 @@ class ThreadUniformOrder:
         return None
 
     def key(self, context: Context, letter: Statement) -> SortKey:
-        if self._priority is None:
+        if self._rank is None:
             rank = letter.thread
         else:
-            rank = self._priority.index(letter.thread)
+            rank = self._rank.get(letter.thread)
+            if rank is None:
+                raise ValueError(f"{letter.thread} is not in list")
         return (rank, letter.uid)
 
 
@@ -159,13 +170,18 @@ def prefers(
 
     Implements Definition 4.5 for comparable words: prefixes are
     preferred, and at the first difference the letters' keys at the
-    current context decide.
+    current context decide.  The order's key/advance methods are bound
+    once per comparison (and the shipped orders answer ``key`` from a
+    precomputed rank dict), so a comparison costs O(shared prefix), not
+    O(prefix × threads).
     """
+    key = order.key
+    advance = order.advance
     context = order.initial_context()
     for a, b in zip(first, second):
         if a is not b:
-            return order.key(context, a) <= order.key(context, b)
-        context = order.advance(context, a)
+            return key(context, a) <= key(context, b)
+        context = advance(context, a)
     return len(first) <= len(second)
 
 

@@ -1,0 +1,192 @@
+"""The integer worklist engine: BFS/DFS over packed id tuples.
+
+A mirror of :class:`repro.automata.engine.WorklistEngine`, specialized
+to proof-check states packed as ``(q_id, φ_id, S_mask, ctx_id)`` int
+tuples.  The loop structure — FIFO/stack order, seen-set dedup, budget
+check per discovery, tick-batched deadline reads, the DFS grey-cut
+taint rule, BFS record/warm-start hooks — replicates the pure engine
+statement for statement, so a run visits the *same* states in the
+*same* order as the pure engine modulo the (bijective) encoding: the
+states guard compares the two bit-for-bit.
+
+What is different is what a pop costs: goal-ness is a flags-array read
+plus (for exit states) a memoized entailment bit, coverage is one int
+compare against the interned ⊥ id, and hashing a state hashes four
+small ints instead of nested tuples and frozensets.
+
+The entry points take a *round context* ``rc`` — in practice the
+:class:`repro.fastpath.check.FastChecker` — exposing the compiled
+tables, memos, and budget/error parameters for one check round.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+#: packed check state: (q_id, phi_id, sleep_mask, ctx_id)
+PackedState = tuple[int, int, int, int]
+
+
+class RoundStats:
+    """Per-round engine counters (folded into the checker's totals).
+
+    ``states_explored`` is set only when a round finishes (goal found or
+    space exhausted) — an aborted round counts zero, exactly like the
+    pure engine's ``_finish``-only assignment.
+    """
+
+    __slots__ = ("states_explored", "deadline_ticks", "warm_hits", "warm_misses")
+
+    def __init__(self) -> None:
+        self.states_explored = 0
+        self.deadline_ticks = 0
+        self.warm_hits = 0
+        self.warm_misses = 0
+
+
+def run_bfs(rc, initial: PackedState):
+    """Breadth-first proof-check round over packed states.
+
+    Returns ``(trace_ids | None, seen, log)`` where ``trace_ids`` is the
+    letter-id path to the first uncovered state (decoded by the caller),
+    ``seen`` the packed seen set, and ``log`` the recorded successor
+    lists when ``rc.record`` is on.
+    """
+    stats = rc.stats
+    tick_interval = rc.tick_interval
+    deadline = rc.deadline
+    max_states = rc.max_states
+    warm = rc.warm
+    expand = rc.expand
+    warm_expand = rc.warm_expand
+    flag = rc.flag
+    entails = rc.entails
+    bottom = rc.bottom
+    perf_counter = time.perf_counter
+
+    seen: set[PackedState] = {initial}
+    parent: dict[PackedState, tuple[PackedState, int]] = {}
+    queue: deque[PackedState] = deque([initial])
+    log: dict | None = {} if rc.record else None
+    ticks = 0
+    while queue:
+        state = queue.popleft()
+        ticks += 1
+        if ticks % tick_interval == 0 and deadline is not None:
+            stats.deadline_ticks += 1
+            if perf_counter() > deadline:
+                raise rc.deadline_error()
+        cached = warm.get(state) if warm is not None else None
+        if cached is None:
+            if warm is not None:
+                stats.warm_misses += 1
+            phi = state[1]
+            if phi == bottom:
+                # covered: ⊥ is never a goal and contributes no successors
+                continue
+            f = flag(state[0])
+            # goal = uncovered: a violation, or an exit state whose
+            # assertion does not entail the postcondition
+            if f and (f & 1 or not entails(phi)):
+                stats.states_explored = len(seen)
+                return _trace_to(parent, state), seen, log
+            successors = expand(state)
+        else:
+            # warm-served: known from the recorded run to be neither a
+            # goal nor covered; successor list verbatim, φ re-stepped
+            stats.warm_hits += 1
+            successors = warm_expand(state, cached)
+        if log is not None:
+            log[state] = successors
+        for a_id, nxt in successors:
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if max_states is not None and len(seen) > max_states:
+                raise rc.budget_error(rc.budget_message)
+            parent[nxt] = (state, a_id)
+            queue.append(nxt)
+    stats.states_explored = len(seen)
+    return None, seen, log
+
+
+def run_dfs(rc, initial: PackedState):
+    """Depth-first proof-check round (Algorithm 2 order) over packed
+    states, with the pure engine's grey-cut taint rule and useless-state
+    hook."""
+    stats = rc.stats
+    tick_interval = rc.tick_interval
+    deadline = rc.deadline
+    max_states = rc.max_states
+    expand = rc.expand
+    flag = rc.flag
+    entails = rc.entails
+    bottom = rc.bottom
+    useless = rc.useless
+    perf_counter = time.perf_counter
+
+    seen: set[PackedState] = set()
+    on_stack: set[PackedState] = set()
+    tainted: set[PackedState] = set()
+    path: list[int] = []
+    # frames: (is_leave, state, incoming letter id, parent state)
+    stack: list[tuple] = [(False, initial, None, None)]
+    ticks = 0
+    while stack:
+        leave, state, letter, parent = stack.pop()
+        ticks += 1
+        if ticks % tick_interval == 0 and deadline is not None:
+            stats.deadline_ticks += 1
+            if perf_counter() > deadline:
+                raise rc.deadline_error()
+        if leave:
+            if letter is not None:
+                path.pop()
+            on_stack.discard(state)
+            if state in tainted:
+                # the subtree was cut at a grey node below: propagate
+                # the taint, never record the state as useless
+                if parent is not None:
+                    tainted.add(parent)
+            elif useless is not None:
+                useless.mark(state)
+            continue
+        if state in seen:
+            if state in on_stack or state in tainted:
+                if parent is not None:
+                    tainted.add(parent)
+            continue
+        if useless is not None and useless.is_useless(state):
+            continue
+        seen.add(state)
+        if max_states is not None and len(seen) > max_states:
+            raise rc.budget_error(rc.budget_message)
+        if letter is not None:
+            path.append(letter)
+        phi = state[1]
+        if phi != bottom:
+            f = flag(state[0])
+            if f and (f & 1 or not entails(phi)):
+                stats.states_explored = len(seen)
+                return tuple(path), seen, None
+        on_stack.add(state)
+        stack.append((True, state, letter, parent))
+        if phi == bottom:
+            continue
+        for a_id, nxt in reversed(expand(state)):
+            stack.append((False, nxt, a_id, state))
+    stats.states_explored = len(seen)
+    return None, seen, None
+
+
+def _trace_to(
+    parent: dict[PackedState, tuple[PackedState, int]], state: PackedState
+) -> tuple[int, ...]:
+    """Letter-id path from the initial state to *state*."""
+    trace: list[int] = []
+    while state in parent:
+        state, letter = parent[state]
+        trace.append(letter)
+    trace.reverse()
+    return tuple(trace)

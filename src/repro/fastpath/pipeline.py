@@ -1,0 +1,114 @@
+"""The fast layer pipeline: compiled ⋖-sorted edge tables + mask memos.
+
+The pure stack answers an expansion with a memoized tuple of
+``(letter, successor, sort key, next context)`` objects and re-derives
+the sleep rule's candidate set ``{b | b ∈ S or b <_q a}`` by comparing
+sort keys per sibling.  Here both are compiled once per ``(q, ctx)``:
+
+* ``edges`` — ``(a_id, bit, q2_id, ctx2_id, lower_mask)`` in ⋖ order,
+  where ``lower_mask`` is the bitmask of the strictly-⋖-smaller sibling
+  letters (a prefix OR, since the edges are sorted and keys are strict);
+* ``enabled_mask`` — the OR of all edge letters, so the sleep rule's
+  candidate set becomes ``(S | lower_mask) & enabled_mask``: two mask
+  ops instead of a key comparison per sibling;
+* the membrane (persistent-set) letter filter, memoized per
+  ``(q, ctx)`` as a mask — the provider's own ``(state, context)`` memo
+  already guarantees one conflict-graph run per pair, this avoids even
+  the frozenset round trip on re-visits.
+
+Commutativity masks are *not* here: they depend on the proof assertion
+φ, so they live with the proof-check glue (:mod:`repro.fastpath.check`)
+next to the subsumption cache they decode into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.preference import Context
+from ..lang.program import ProductState
+from ..lang.statements import Statement
+from .encoder import ProgramEncoder
+
+#: the membrane hook, same shape the pure layers use
+LetterFilter = Callable[[ProductState, Context], frozenset[Statement]]
+
+
+class EdgeTable:
+    """The compiled outgoing edges of one ``(q, ctx)`` pair."""
+
+    __slots__ = ("edges", "enabled_mask")
+
+    def __init__(
+        self,
+        edges: tuple[tuple[int, int, int, int, int], ...],
+        enabled_mask: int,
+    ) -> None:
+        self.edges = edges
+        self.enabled_mask = enabled_mask
+
+
+class FastPipeline:
+    """Edge tables and membrane masks over a :class:`ProgramEncoder`."""
+
+    def __init__(
+        self,
+        encoder: ProgramEncoder,
+        membrane: LetterFilter | None = None,
+    ) -> None:
+        self.enc = encoder
+        self.membrane = membrane
+        self._tables: dict[tuple[int, int], EdgeTable] = {}
+        self._membrane_masks: dict[tuple[int, int], int] = {}
+        #: compiled-edge-table memo counters (``fastpath_edge_*``)
+        self.edge_hits = 0
+        self.edge_misses = 0
+
+    def edge_table(self, q_id: int, ctx_id: int) -> EdgeTable:
+        """The ⋖-sorted compiled edges of ``(q, ctx)``, memoized.
+
+        Sorting uses the encoder's precomputed per-context rank array;
+        keys include the letter uid, so they are strict and the sorted
+        order matches the pure context layer's exactly.
+        """
+        memo_key = (q_id, ctx_id)
+        table = self._tables.get(memo_key)
+        if table is not None:
+            self.edge_hits += 1
+            return table
+        self.edge_misses += 1
+        enc = self.enc
+        keys = enc.key_table(ctx_id)
+        letter_id = enc.letter_id
+        raw = sorted(
+            (
+                (keys[letter_id[a]], letter_id[a], q2)
+                for a, q2 in enc.program.successors(enc.q_of(q_id))
+            ),
+            key=lambda e: e[0],
+        )
+        edges = []
+        enabled = 0
+        lower = 0  # prefix OR: bits of the strictly-⋖-smaller siblings
+        for _key, a_id, q2 in raw:
+            bit = 1 << a_id
+            edges.append(
+                (a_id, bit, enc.q_id(q2), enc.advance_id(ctx_id, a_id), lower)
+            )
+            lower |= bit
+            enabled |= bit
+        table = EdgeTable(tuple(edges), enabled)
+        self._tables[memo_key] = table
+        return table
+
+    def membrane_mask(self, q_id: int, ctx_id: int) -> int:
+        """The persistent-set letter filter of ``(q, ctx)`` as a mask."""
+        memo_key = (q_id, ctx_id)
+        mask = self._membrane_masks.get(memo_key)
+        if mask is None:
+            enc = self.enc
+            mask = enc.mask_of(
+                self.membrane(enc.q_of(q_id), enc.ctx_of(ctx_id))
+            )
+            self._membrane_masks[memo_key] = mask
+        return mask

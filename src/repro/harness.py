@@ -310,6 +310,7 @@ def cache_summary(
     intern_hits = intern_misses = subst_hits = subst_misses = reinterned = 0
     fh_delta_hits = fh_delta_misses = warm_reused = warm_dirty = 0
     store_hits = store_misses = store_writes = 0
+    fast_rounds = fast_step_hits = fast_cmask_hits = fast_fallbacks = 0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
@@ -339,6 +340,10 @@ def cache_summary(
         subst_hits += qs.substitute_hits
         subst_misses += qs.substitute_misses
         reinterned += qs.reintern_count
+        fast_rounds += qs.fastpath_rounds
+        fast_step_hits += qs.fastpath_step_hits
+        fast_cmask_hits += qs.fastpath_commute_mask_hits
+        fast_fallbacks += qs.fastpath_fallbacks
     intern_asked = intern_hits + intern_misses
     subst_asked = subst_hits + subst_misses
     return {
@@ -362,6 +367,10 @@ def cache_summary(
         "fh_step_delta_misses": fh_delta_misses,
         "warm_start_reused": warm_reused,
         "warm_start_dirty": warm_dirty,
+        "fastpath_rounds": fast_rounds,
+        "fastpath_step_hits": fast_step_hits,
+        "fastpath_commute_mask_hits": fast_cmask_hits,
+        "fastpath_fallbacks": fast_fallbacks,
         "store_hits": store_hits,
         "store_misses": store_misses,
         "store_writes": store_writes,

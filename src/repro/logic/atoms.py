@@ -59,13 +59,47 @@ class LinExpr:
         return dict(self.coeffs)
 
     def __add__(self, other: "LinExpr") -> "LinExpr":
-        out = self.as_dict()
-        for v, c in other.coeffs:
-            out[v] = out.get(v, 0) + c
-        return LinExpr.of(out, self.const + other.const)
+        return self.combine(1, other, 1)
+
+    def combine(self, k_self: int, other: "LinExpr", k_other: int) -> "LinExpr":
+        """``k_self·self + k_other·other`` in one merge over the sorted
+        coefficient tuples — the Fourier–Motzkin inner loop, so no
+        intermediate dicts or re-sorts."""
+        const = self.const * k_self + other.const * k_other
+        a = self.coeffs if k_self else ()
+        b = other.coeffs if k_other else ()
+        if not a and not b:
+            return LinExpr((), const)
+        out: list[tuple[str, int]] = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            va, ca = a[i]
+            vb, cb = b[j]
+            if va == vb:
+                s = ca * k_self + cb * k_other
+                if s:
+                    out.append((va, s))
+                i += 1
+                j += 1
+            elif va < vb:
+                out.append((va, ca * k_self) if k_self != 1 else a[i])
+                i += 1
+            else:
+                out.append((vb, cb * k_other) if k_other != 1 else b[j])
+                j += 1
+        for v, c in a[i:]:
+            out.append((v, c * k_self) if k_self != 1 else (v, c))
+        for v, c in b[j:]:
+            out.append((v, c * k_other) if k_other != 1 else (v, c))
+        return LinExpr(tuple(out), const)
 
     def scale(self, k: int) -> "LinExpr":
-        return LinExpr.of({v: c * k for v, c in self.coeffs}, self.const * k)
+        if k == 0:
+            return LinExpr((), 0)
+        if k == 1:
+            return self
+        return LinExpr(tuple((v, c * k) for v, c in self.coeffs), self.const * k)
 
     def __sub__(self, other: "LinExpr") -> "LinExpr":
         return self + other.scale(-1)
@@ -148,7 +182,10 @@ class LinearConstraint:
 
     def negate(self) -> "LinearConstraint":
         # not (e <= 0)  iff  e >= 1  iff  -e + 1 <= 0   (integers)
-        return LinearConstraint(self.expr.scale(-1) + LinExpr((), 1))
+        e = self.expr
+        return LinearConstraint(
+            LinExpr(tuple((v, -c) for v, c in e.coeffs), 1 - e.const)
+        )
 
     def holds(self, env: Mapping[str, Fraction | int]) -> bool:
         return self.expr.evaluate(env) <= 0

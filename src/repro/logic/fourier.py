@@ -89,12 +89,18 @@ def fm_project(
     uppers: list[tuple[int, LinExpr]] = []  # c·x <= -rest  (coeff c > 0)
     rest: list[LinearConstraint] = []
     for c in constraints:
-        coeff = c.expr.as_dict().get(variable, 0)
+        coeffs = c.expr.coeffs
+        coeff = 0
+        for v, co in coeffs:
+            if v == variable:
+                coeff = co
+                break
         if coeff == 0:
             rest.append(c)
             continue
-        remainder = LinExpr.of(
-            {v: co for v, co in c.expr.coeffs if v != variable}, c.expr.const
+        # dropping one key from a sorted tuple preserves the sort order
+        remainder = LinExpr(
+            tuple(item for item in coeffs if item[0] != variable), c.expr.const
         )
         if coeff > 0:
             uppers.append((coeff, remainder))
@@ -105,8 +111,7 @@ def fm_project(
         for cl, rl in lowers:
             # cu·x + ru <= 0 and -cl·x + rl <= 0
             # =>  cl·ru + cu·rl <= 0
-            combined = ru.scale(cl) + rl.scale(cu)
-            new.append(LinearConstraint(combined))
+            new.append(LinearConstraint(ru.combine(cl, rl, cu)))
     return _dedup(new)
 
 
@@ -119,13 +124,18 @@ def _bounds_for(
     lo: Fraction | None = None
     hi: Fraction | None = None
     for c in constraints:
-        coeff = c.expr.as_dict().get(variable, 0)
+        coeffs = c.expr.coeffs
+        coeff = 0
+        for v, co in coeffs:
+            if v == variable:
+                coeff = co
+                break
         if coeff == 0:
             continue
-        remainder = LinExpr.of(
-            {v: co for v, co in c.expr.coeffs if v != variable}, c.expr.const
-        )
-        value = remainder.evaluate(env)
+        value = Fraction(c.expr.const)
+        for v, co in coeffs:
+            if v != variable:
+                value += co * env[v]
         bound = Fraction(-value, coeff)
         if coeff > 0:  # x <= bound
             hi = bound if hi is None else min(hi, bound)
@@ -149,7 +159,40 @@ def rational_model(
     cons = _dedup(constraints)
     if cons is None:
         return None
-    variables = sorted({v for c in cons for v in c.variables()})
+    return _rational_model_deduped(cons)
+
+
+_MISS = object()
+_model_cache: dict[
+    tuple[LinearConstraint, ...], dict[str, Fraction] | None
+] = {}
+
+
+def _rational_model_deduped(
+    cons: list[LinearConstraint],
+) -> dict[str, Fraction] | None:
+    """:func:`rational_model` on an already-tightened, deduplicated set.
+
+    Memoized on the *canonical* (hash-sorted) constraint tuple: the
+    elimination result depends only on the constraint set, not its
+    order — every bound is a min/max over the set and values are exact
+    ``Fraction``s — and the same set recurs heavily across DPLL
+    branches gathered in different orders.
+    """
+    key = tuple(sorted(cons, key=hash))
+    cached = _model_cache.get(key, _MISS)
+    if cached is not _MISS:
+        return None if cached is None else dict(cached)
+    env = _eliminate(cons)
+    if len(_model_cache) < 500_000:
+        _model_cache[key] = env
+    return None if env is None else dict(env)
+
+
+def _eliminate(
+    cons: list[LinearConstraint],
+) -> dict[str, Fraction] | None:
+    variables = sorted({v for c in cons for v, _ in c.expr.coeffs})
     # eliminate in order, remembering each stage's constraint set
     stages: list[tuple[str, list[LinearConstraint]]] = []
     current = cons
@@ -198,7 +241,7 @@ def rationally_feasible(constraints: Sequence[LinearConstraint]) -> bool:
     hit = _feasible_cache.get(key)
     if hit is None:
         cons = _dedup(key)
-        hit = cons is not None and rational_model(cons) is not None
+        hit = cons is not None and _rational_model_deduped(cons) is not None
         if len(_feasible_cache) < 500_000:
             _feasible_cache[key] = hit
     return hit

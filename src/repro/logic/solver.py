@@ -39,8 +39,8 @@ from .terms import (
     Term,
     add,
     and_,
+    compile_eval,
     eq,
-    evaluate,
     gt,
     ite,
     le,
@@ -341,10 +341,11 @@ class Solver:
     def _model_pool_hit(self, formula: Term) -> bool:
         """Does some cached model satisfy *formula*? (cheap pre-check)"""
         names = formula.free_vars
+        check = compile_eval(formula)
         for model in self._model_pool:
             env = {name: model.get(name, 0) for name in names}
             try:
-                if evaluate(formula, env):
+                if check(env):
                     return True
             except TypeError:  # pragma: no cover - defensive
                 return False

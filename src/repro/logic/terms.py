@@ -936,6 +936,62 @@ def evaluate(term: Term, env: Mapping[str, int]):
     raise TypeError(f"unknown term node: {term!r}")
 
 
+#: ``nid`` → evaluation closure; nids are never reused, so entries can
+#: never be wrong.  The Ite/array fallback closures capture their term,
+#: so the memo is kernel-registered and emptied at compaction.
+_eval_fns: dict[int, object] = register_kernel_cache({})
+
+
+def compile_eval(term: Term):
+    """Compile *term* into an ``env -> value`` closure (memoized by nid).
+
+    Exactly :func:`evaluate`'s semantics — same short-circuiting, same
+    ``KeyError`` on unbound variables — but the isinstance dispatch is
+    paid once per distinct node instead of once per evaluation.  The
+    solver's model pool probes the same formula against up to 64 cached
+    models; this makes each probe a plain closure call.
+    """
+    fn = _eval_fns.get(term.nid)
+    if fn is not None:
+        return fn
+    if isinstance(term, IntConst):
+        value = term.value
+        fn = lambda env, _v=value: _v  # noqa: E731
+    elif isinstance(term, BoolConst):
+        value = term.value
+        fn = lambda env, _v=value: _v  # noqa: E731
+    elif isinstance(term, Var):
+        name = term.name
+        fn = lambda env, _n=name: env[_n]  # noqa: E731
+    elif isinstance(term, Add):
+        subs = tuple(compile_eval(a) for a in term.args)
+        fn = lambda env, _s=subs: sum(f(env) for f in _s)  # noqa: E731
+    elif isinstance(term, Mul):
+        coeff, arg = term.coeff, compile_eval(term.arg)
+        fn = lambda env, _k=coeff, _a=arg: _k * _a(env)  # noqa: E731
+    elif isinstance(term, Not):
+        arg = compile_eval(term.arg)
+        fn = lambda env, _a=arg: not _a(env)  # noqa: E731
+    elif isinstance(term, And):
+        subs = tuple(compile_eval(a) for a in term.args)
+        fn = lambda env, _s=subs: all(f(env) for f in _s)  # noqa: E731
+    elif isinstance(term, Or):
+        subs = tuple(compile_eval(a) for a in term.args)
+        fn = lambda env, _s=subs: any(f(env) for f in _s)  # noqa: E731
+    elif isinstance(term, Le):
+        lhs, rhs = compile_eval(term.lhs), compile_eval(term.rhs)
+        fn = lambda env, _l=lhs, _r=rhs: _l(env) <= _r(env)  # noqa: E731
+    elif isinstance(term, Eq):
+        lhs, rhs = compile_eval(term.lhs), compile_eval(term.rhs)
+        fn = lambda env, _l=lhs, _r=rhs: _l(env) == _r(env)  # noqa: E731
+    else:
+        # Ite / arrays: rare in pool probes — fall back to the interpreter
+        fn = lambda env, _t=term: evaluate(_t, env)  # noqa: E731
+    if len(_eval_fns) < 200_000:
+        _eval_fns[term.nid] = fn
+    return fn
+
+
 _fresh_counter = itertools.count()
 
 

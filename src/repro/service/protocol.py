@@ -75,6 +75,7 @@ JOB_FIELDS = (
     "timeout",
     "max_attempts",
     "faults",
+    "engine",
 )
 
 
@@ -169,4 +170,6 @@ def normalize_job_spec(raw: dict) -> dict:
             raise ProtocolError("'timeout' must be a number") from exc
         if spec["timeout"] <= 0:
             raise ProtocolError("'timeout' must be positive")
+    if "engine" in spec and spec["engine"] not in ("pure", "fast"):
+        raise ProtocolError(f"unknown engine {spec['engine']!r}")
     return spec

@@ -73,6 +73,8 @@ def job_config(spec: dict, base: VerifierConfig, scale: float) -> VerifierConfig
         overrides["search"] = spec["search"]
     if spec.get("max_rounds"):
         overrides["max_rounds"] = spec["max_rounds"]
+    if spec.get("engine"):
+        overrides["engine"] = spec["engine"]
     config = replace(base, **overrides) if overrides else base
     if config.time_budget is not None and scale != 1.0:
         config = replace(config, time_budget=config.time_budget * scale)
@@ -151,6 +153,7 @@ def result_payload(result: VerificationResult) -> dict:
         "verdict": result.verdict.value,
         "order": result.order_name,
         "mode": result.mode,
+        "engine": result.engine,
         "rounds": result.rounds,
         "proof_size": result.proof_size,
         "num_predicates": result.num_predicates,

@@ -29,7 +29,7 @@ from .portfolio import (
     standard_orders,
     verify_portfolio,
 )
-from .refinement import VerifierConfig, verify
+from .refinement import ENGINE_CHOICES, VerifierConfig, default_engine, verify
 from .runtime import (
     DegradingCommutativity,
     RetryPolicy,
@@ -67,7 +67,9 @@ __all__ = [
     "DegradingCommutativity",
     "RetryPolicy",
     "run_parallel_portfolio",
+    "ENGINE_CHOICES",
     "VerifierConfig",
+    "default_engine",
     "verify",
     "QueryStats",
     "RoundStats",

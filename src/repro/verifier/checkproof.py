@@ -50,6 +50,7 @@ are a BFS feature.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -218,17 +219,21 @@ class ProofCoverLayer:
             self._commute_cbs[phi_state] = cb
         return cb
 
-    def successors(self, state: CheckState) -> Iterator[tuple[Statement, CheckState]]:
+    def successors(self, state: CheckState) -> list[tuple[Statement, CheckState]]:
         checker = self.checker
-        fh = self.fh
         q, phi_state, sleep, ctx = state
         if checker.program.is_violation(q):
-            return
+            return []
+        # one materialized reduced-edge view per (q, ctx) expansion: the
+        # ⋖-sorted memo is fetched once, not re-entered per successor
+        step = self.fh.step
         commute = self._commute_cb(phi_state) if checker._use_sleep else None
-        for a, q2, new_sleep, ctx2 in checker._layer.reduced_edges(
-            q, sleep, ctx, commute=commute
-        ):
-            yield a, (q2, fh.step(phi_state, a), new_sleep, ctx2)
+        return [
+            (a, (q2, step(phi_state, a), new_sleep, ctx2))
+            for a, q2, new_sleep, ctx2 in checker._layer.reduced_edges(
+                q, sleep, ctx, commute=commute
+            )
+        ]
 
     def is_covered(self, state: CheckState) -> bool:
         return self.fh.is_bottom(state[1])
@@ -251,9 +256,12 @@ class ProofChecker:
         deadline: float | None = None,
         memoize_commutativity: bool = True,
         incremental: bool = True,
+        engine: str = "pure",
     ) -> None:
         if search not in ("bfs", "dfs"):
             raise ValueError(f"unknown search strategy {search!r}")
+        if engine not in ("pure", "fast"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.deadline = deadline  # absolute time.perf_counter() timestamp
         self.program = program
         self.order = order
@@ -305,6 +313,22 @@ class ProofChecker:
         self.warm_start_reused = 0
         #: dirty-frontier seeds handed back to the live search
         self.warm_start_dirty = 0
+        # the integer fast path: compile the program once up front; an
+        # alphabet wider than the fast-path machine word falls back to
+        # the pure engine with a warning — never a wrong answer
+        self._fast = None
+        self.engine_name = "pure"
+        #: fast-engine requests that fell back to the pure engine
+        self.fastpath_fallbacks = 0
+        if engine == "fast":
+            from ..fastpath import AlphabetOverflow, FastChecker
+
+            try:
+                self._fast = FastChecker(self)
+                self.engine_name = "fast"
+            except AlphabetOverflow as exc:
+                warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
+                self.fastpath_fallbacks = 1
 
     # -- engine counters ------------------------------------------------------
 
@@ -341,6 +365,40 @@ class ProofChecker:
     @property
     def edge_sort_misses(self) -> int:
         return self._layer.context.stats.edge_sort_misses
+
+    # fast-engine counters (all 0 on the pure engine / after a fallback)
+
+    @property
+    def fastpath_rounds(self) -> int:
+        """Proof-check rounds run on the integer fast path."""
+        return self._fast.rounds if self._fast is not None else 0
+
+    @property
+    def fastpath_edge_hits(self) -> int:
+        """Compiled (q, ctx) edge tables served from the memo."""
+        return self._fast.pipeline.edge_hits if self._fast is not None else 0
+
+    @property
+    def fastpath_edge_misses(self) -> int:
+        return self._fast.pipeline.edge_misses if self._fast is not None else 0
+
+    @property
+    def fastpath_step_hits(self) -> int:
+        """Hoare steps answered by the (φ_id, a_id) integer memo."""
+        return self._fast.step_hits if self._fast is not None else 0
+
+    @property
+    def fastpath_step_misses(self) -> int:
+        return self._fast.step_misses if self._fast is not None else 0
+
+    @property
+    def fastpath_commute_mask_hits(self) -> int:
+        """Sleep-rule candidate sets decided purely by mask lookups."""
+        return self._fast.commute_mask_hits if self._fast is not None else 0
+
+    @property
+    def fastpath_commute_mask_misses(self) -> int:
+        return self._fast.commute_mask_misses if self._fast is not None else 0
 
     # -- commutativity under the current assertion ---------------------------
     #
@@ -399,6 +457,8 @@ class ProofChecker:
         for positives, negatives in self._commute_entries.values():
             positives[:] = minimal_antichain(positives)
             negatives[:] = maximal_antichain(negatives)
+        if self._fast is not None:
+            self._fast.note_vocabulary_grown()
 
     # -- successor generation (the reduction, on the fly) ----------------------
 
@@ -468,11 +528,14 @@ class ProofChecker:
         return {
             "search": self.search,
             "mode": self.mode,
+            "engine": self.engine_name,
             "states_explored": self.engine_states_explored,
             "warm_start_reused": self.warm_start_reused,
             "warm_start_dirty": self.warm_start_dirty,
             "warm_states_recorded": (
-                len(self._warm) if self._warm is not None else 0
+                self._fast.warm_states_recorded
+                if self._fast is not None
+                else len(self._warm) if self._warm is not None else 0
             ),
             "commute_queries": self.commute_queries,
             "commute_subsumption_hits": self.commute_subsumption_hits,
@@ -497,6 +560,8 @@ class ProofChecker:
 
     def check(self, fh: FloydHoareAutomaton, pre: Term, post: Term) -> CheckOutcome:
         self._last_fh = fh
+        if self._fast is not None:
+            return self._fast.check(fh, pre, post)
         layer = ProofCoverLayer(self, fh)
         initial = layer.initial_state(pre)
         assertions: set[FhState] = set()

@@ -136,6 +136,7 @@ class PortfolioResult:
             query_stats=best.query_stats,
             order_name=f"portfolio[{best.order_name}]",
             mode=best.mode,
+            engine=best.engine,
             attempts=best.attempts,
             respawns=sum(m.respawns for m in self.members),
             degraded=best.degraded,

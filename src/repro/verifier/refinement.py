@@ -11,9 +11,10 @@ exhausted (TIMEOUT).
 
 from __future__ import annotations
 
+import os
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..automata.engine import BudgetExceeded
 from ..core.commutativity import CommutativityRelation, ConditionalCommutativity
@@ -33,6 +34,23 @@ from .faults import attach_env_faults
 from .hoare import FloydHoareAutomaton
 from .interpolate import annotate_trace, extract_predicates, refutes, trace_feasible
 from .stats import QueryStats, RoundStats, Verdict, VerificationResult
+
+
+#: the exploration engines the proof checker can run on
+ENGINE_CHOICES = ("pure", "fast")
+
+
+def default_engine() -> str:
+    """The engine to use when a config does not pin one.
+
+    ``REPRO_ENGINE=fast`` (or ``pure``) overrides process-wide — the
+    hook CI and the benchmark harness use to run the whole stack on the
+    integer fast path without threading a flag through every call site.
+    Unset or unrecognized values mean ``"pure"``, keeping pinned
+    baselines stable.
+    """
+    value = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    return value if value in ENGINE_CHOICES else "pure"
 
 
 @dataclass
@@ -66,6 +84,12 @@ class VerifierConfig:
     #: solved run.  A corrupt or version-skewed store degrades to a
     #: cold start with a logged warning, never a wrong verdict.
     store_path: str | None = None
+    #: exploration engine: ``"pure"`` (rich-object layers, the
+    #: differential oracle) or ``"fast"`` (the integer fast path of
+    #: :mod:`repro.fastpath` — bit-identical exploration, falls back to
+    #: pure with a warning when the alphabet overflows a machine word).
+    #: Defaults from ``REPRO_ENGINE``; CLI flag ``--engine``.
+    engine: str = field(default_factory=default_engine)
 
 
 def verify(
@@ -173,6 +197,7 @@ def verify(
         deadline=deadline,
         memoize_commutativity=config.memoize_commutativity,
         incremental=config.incremental,
+        engine=config.engine,
     )
 
     result = VerificationResult(
@@ -180,6 +205,9 @@ def verify(
         verdict=Verdict.UNKNOWN,
         order_name=order.name,
         mode=config.mode,
+        # what actually runs, not what was asked for: a "fast" request
+        # can fall back to "pure" on alphabet overflow
+        engine=checker.engine_name,
     )
 
     for round_index in range(config.max_rounds):

@@ -18,6 +18,7 @@ _CSV_FIELDS = (
     "verdict",
     "order",
     "mode",
+    "engine",
     "rounds",
     "proof_size",
     "num_predicates",
@@ -35,6 +36,10 @@ _CSV_FIELDS = (
     "fh_step_delta_hits",
     "warm_start_reused",
     "warm_start_dirty",
+    "fastpath_rounds",
+    "fastpath_step_hits",
+    "fastpath_commute_mask_hits",
+    "fastpath_fallbacks",
     "intern_hit_rate",
     "substitute_hit_rate",
     "reintern_count",
@@ -65,6 +70,7 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "verdict": r.verdict.value,
                 "order": r.order_name,
                 "mode": r.mode,
+                "engine": r.engine,
                 "rounds": r.rounds,
                 "proof_size": r.proof_size,
                 "num_predicates": r.num_predicates,
@@ -86,6 +92,12 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "fh_step_delta_hits": qs.fh_step_delta_hits if qs else "",
                 "warm_start_reused": qs.warm_start_reused if qs else "",
                 "warm_start_dirty": qs.warm_start_dirty if qs else "",
+                "fastpath_rounds": qs.fastpath_rounds if qs else "",
+                "fastpath_step_hits": qs.fastpath_step_hits if qs else "",
+                "fastpath_commute_mask_hits": (
+                    qs.fastpath_commute_mask_hits if qs else ""
+                ),
+                "fastpath_fallbacks": qs.fastpath_fallbacks if qs else "",
                 "intern_hit_rate": f"{qs.intern_hit_rate:.4f}" if qs else "",
                 "substitute_hit_rate": (
                     f"{qs.substitute_hit_rate:.4f}" if qs else ""
@@ -124,6 +136,7 @@ def results_to_json(results: Iterable[VerificationResult]) -> str:
                 "verdict": r.verdict.value,
                 "order": r.order_name,
                 "mode": r.mode,
+                "engine": r.engine,
                 "rounds": r.rounds,
                 "proof_size": r.proof_size,
                 "num_predicates": r.num_predicates,

@@ -93,6 +93,17 @@ class QueryStats:
     fh_initial_delta_hits: int = 0
     warm_start_reused: int = 0
     warm_start_dirty: int = 0
+    # integer fast path (repro.fastpath); all zero on the pure engine
+    fastpath_rounds: int = 0
+    fastpath_edge_hits: int = 0
+    fastpath_edge_misses: int = 0
+    fastpath_step_hits: int = 0
+    fastpath_step_misses: int = 0
+    fastpath_commute_mask_hits: int = 0
+    fastpath_commute_mask_misses: int = 0
+    #: fast-engine requests that fell back to the pure engine
+    #: (alphabet wider than the fast-path machine word)
+    fastpath_fallbacks: int = 0
     # term-kernel level (repro.logic.terms interning kernel); counters
     # are deltas over the run when a baseline snapshot is supplied to
     # :meth:`collect`, otherwise process-cumulative.  ``reintern_count``
@@ -251,6 +262,22 @@ class QueryStats:
             out.fh_initial_delta_hits = checker.fh_initial_delta_hits
             out.warm_start_reused = checker.warm_start_reused
             out.warm_start_dirty = checker.warm_start_dirty
+            out.fastpath_rounds = getattr(checker, "fastpath_rounds", 0)
+            out.fastpath_edge_hits = getattr(checker, "fastpath_edge_hits", 0)
+            out.fastpath_edge_misses = getattr(
+                checker, "fastpath_edge_misses", 0
+            )
+            out.fastpath_step_hits = getattr(checker, "fastpath_step_hits", 0)
+            out.fastpath_step_misses = getattr(
+                checker, "fastpath_step_misses", 0
+            )
+            out.fastpath_commute_mask_hits = getattr(
+                checker, "fastpath_commute_mask_hits", 0
+            )
+            out.fastpath_commute_mask_misses = getattr(
+                checker, "fastpath_commute_mask_misses", 0
+            )
+            out.fastpath_fallbacks = getattr(checker, "fastpath_fallbacks", 0)
         if store is not None:
             counters = store.counters()
             base = store_baseline or {}
@@ -333,6 +360,18 @@ class QueryStats:
             f"{self.store_writes} writes, "
             f"{self.store_entries} entries on disk",
         ]
+        if self.fastpath_rounds or self.fastpath_fallbacks:
+            lines.append(
+                "fast path:     "
+                f"{self.fastpath_rounds} rounds, "
+                f"edge tables {self.fastpath_edge_hits} hits / "
+                f"{self.fastpath_edge_misses} compiled, "
+                f"steps {self.fastpath_step_hits} hits / "
+                f"{self.fastpath_step_misses} misses, "
+                f"commute masks {self.fastpath_commute_mask_hits} hits / "
+                f"{self.fastpath_commute_mask_misses} misses, "
+                f"{self.fastpath_fallbacks} fallbacks"
+            )
         if (
             self.service_jobs
             or self.service_retries
@@ -381,6 +420,9 @@ class VerificationResult:
     query_stats: QueryStats | None = None
     order_name: str = ""
     mode: str = "combined"
+    #: which exploration engine actually ran ("fast" may fall back to
+    #: "pure" when the alphabet overflows the fast-path machine word)
+    engine: str = "pure"
     failure_reason: str | None = None
     attempts: int = 1
     respawns: int = 0

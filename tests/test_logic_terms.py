@@ -25,7 +25,7 @@ from repro.logic import (
     substitute,
     var,
 )
-from repro.logic.terms import Add, And, IntConst, Le, Or
+from repro.logic.terms import Add, And, IntConst, Le, Or, compile_eval
 
 
 x, y, z = var("x"), var("y"), var("z")
@@ -171,3 +171,43 @@ class TestTraversals:
     def test_substitute_empty_is_identity(self):
         t = le(x, y)
         assert substitute(t, {}) is t
+
+
+class TestCompileEval:
+    """compile_eval must agree with evaluate on every node type."""
+
+    TERMS = [
+        intc(7),
+        TRUE,
+        x,
+        add(x, mul(3, y), intc(-2)),
+        and_(le(x, y), or_(eq(y, z), not_(le(z, x)))),
+        ite(le(x, y), add(x, intc(1)), mul(2, z)),
+        implies(le(x, intc(0)), eq(y, z)),
+    ]
+
+    ENVS = [
+        {"x": 0, "y": 0, "z": 0},
+        {"x": 1, "y": 2, "z": 3},
+        {"x": 5, "y": -5, "z": 2},
+        {"x": -1, "y": -1, "z": 7},
+    ]
+
+    def test_matches_evaluate(self):
+        for t in self.TERMS:
+            fn = compile_eval(t)
+            for env in self.ENVS:
+                assert fn(env) == evaluate(t, env), (t, env)
+
+    def test_memoized_by_nid(self):
+        t = add(x, y)
+        assert compile_eval(t) is compile_eval(t)
+
+    def test_missing_var_raises_keyerror(self):
+        fn = compile_eval(add(x, y))
+        try:
+            fn({"x": 1})
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError, matching evaluate")

@@ -45,10 +45,11 @@ def run_portfolio_under_signal(sig: signal.Signals) -> tuple[int, str]:
     ready = proc.stdout.readline()
     assert ready.startswith("READY"), ready
     # let the workers spawn, then deliver the signal mid-verification
-    # (peterson takes seconds; the portfolio is nowhere near done)
+    # (peterson takes ~1.7s cold; signal early enough that at least one
+    # member is still running even on a fast, warm machine)
     import time
 
-    time.sleep(1.0)
+    time.sleep(0.4)
     proc.send_signal(sig)
     out, _ = proc.communicate(timeout=60)
     return proc.returncode, ready + out
