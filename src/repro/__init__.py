@@ -31,6 +31,7 @@ from .core import (
     ThreadUniformOrder,
     reduce_program,
 )
+from .delta import EditPlan, diff_programs
 from .store import ProofStore, open_store
 from .verifier import (
     Verdict,
@@ -55,6 +56,8 @@ __all__ = [
     "SyntacticCommutativity",
     "ThreadUniformOrder",
     "reduce_program",
+    "EditPlan",
+    "diff_programs",
     "ProofStore",
     "open_store",
     "Verdict",

@@ -115,6 +115,98 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.verdict.solved else 1
 
 
+def _cmd_diff_verify(args: argparse.Namespace) -> int:
+    """Verify NEW as an edit against OLD, reusing unchanged-thread facts.
+
+    Requires a persistent proof store: the baseline's program shape,
+    Hoare/commutativity facts, and exploration log live there.  If the
+    store has no record of OLD yet, OLD is verified first (a normal
+    store-backed run) and NEW is then verified with
+    ``baseline_digest`` pointing at it.
+    """
+    from .delta import diff_programs
+    from .store import KIND_SHAPE, ProofStore, program_digest
+
+    store_path = _store_path(args)
+    if store_path is None:
+        raise SystemExit(
+            "diff-verify needs a persistent proof store "
+            "(--proof-store PATH or REPRO_PROOF_STORE)"
+        )
+    old_program = _read_program(args.old)
+    new_program = _read_program(args.new)
+    baseline_hex = program_digest(old_program).hex()
+    plan = diff_programs(old_program, new_program)
+    print(f"baseline: {old_program.name} [{baseline_hex[:12]}]")
+    print(f"edit plan: {plan.summary()}")
+
+    solver = Solver()
+
+    def config_for(baseline: str | None) -> VerifierConfig:
+        return VerifierConfig(
+            mode=args.mode,
+            search=args.search,
+            max_rounds=args.max_rounds,
+            time_budget=args.timeout,
+            incremental=not args.no_incremental,
+            store_path=store_path,
+            engine=args.engine or default_engine(),
+            baseline_digest=baseline,
+        )
+
+    store = ProofStore(store_path)
+    if store.get(KIND_SHAPE, program_digest(old_program)) is None:
+        print("baseline not in store; verifying OLD first")
+        base_result = verify(
+            old_program,
+            _make_order(args.order, old_program),
+            ConditionalCommutativity(solver),
+            config=config_for(None),
+            solver=solver,
+        )
+        print(f"  {base_result.summary()}")
+    result = verify(
+        new_program,
+        _make_order(args.order, new_program),
+        ConditionalCommutativity(Solver()),
+        config=config_for(baseline_hex),
+    )
+    print(result.summary())
+    if result.counterexample is not None:
+        print("counterexample:")
+        for statement in result.counterexample:
+            print(f"  {statement.label}")
+    if args.show_cache_stats:
+        _print_cache_stats(result)
+    return 0 if result.verdict.solved else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import ProofStore
+
+    if args.store_command == "inspect":
+        info = ProofStore(args.path).inspect()
+        if args.json:
+            print(json.dumps(info, indent=2))
+            return 0
+        print(f"store {info['path']} (format {info['format']}, "
+              f"max_records {info['max_records']})")
+        print(f"entries: {info['total_entries']}")
+        for kind, count in sorted(info["entries_by_kind"].items()):
+            print(f"  {kind:8s} {count}")
+        segments = info["segments"]
+        total = sum(s["bytes"] for s in segments)
+        print(f"segments: {len(segments)} ({total} bytes)")
+        for segment in segments:
+            print(f"  {segment['name']:32s} {segment['bytes']:>10d} bytes")
+        if info["load_warnings"]:
+            print(f"load warnings: {info['load_warnings']}")
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
+
+
 def _print_cache_stats(result) -> None:
     if result.query_stats is None:
         print("cache stats: unavailable for this run")
@@ -272,6 +364,8 @@ def _submit_spec(args: argparse.Namespace, *, bench=None, path=None) -> dict:
         spec["cost"] = args.cost
     if args.engine is not None:
         spec["engine"] = args.engine
+    if getattr(args, "baseline_digest", None):
+        spec["baseline_digest"] = args.baseline_digest
     return spec
 
 
@@ -371,8 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "or 'pure'",
         )
 
-    def common(p):
-        p.add_argument("file", help="program file ('-' for stdin)")
+    def common_flags(p):
         p.add_argument("--max-rounds", type=int, default=60)
         p.add_argument("--timeout", type=float, default=None, help="seconds")
         p.add_argument(
@@ -396,12 +489,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--proof-store", metavar="PATH", default=None,
             help="persistent content-addressed proof store directory; "
                  "solved solver/Hoare/commutativity verdicts are reused "
-                 "across runs (REPRO_PROOF_STORE is the env equivalent)",
+                 "across runs (REPRO_PROOF_STORE is the env equivalent; "
+                 "the flag wins when both are set)",
         )
         p.add_argument(
             "--no-proof-store", action="store_true",
             help="ignore --proof-store and REPRO_PROOF_STORE; run cold",
         )
+
+    def common(p):
+        p.add_argument("file", help="program file ('-' for stdin)")
+        common_flags(p)
 
     p_verify = sub.add_parser("verify", help="verify a program")
     common(p_verify)
@@ -422,6 +520,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyse each thread's asserts separately (footnote 4)",
     )
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_diff = sub.add_parser(
+        "diff-verify",
+        help="verify NEW as an edit of OLD, reusing unchanged-thread "
+             "facts and replaying the baseline exploration log",
+    )
+    p_diff.add_argument("old", help="baseline program file")
+    p_diff.add_argument("new", help="edited program file")
+    common_flags(p_diff)
+    p_diff.add_argument("--order", default="seq")
+    p_diff.add_argument(
+        "--mode", default="combined",
+        choices=("combined", "sleep", "persistent", "none"),
+    )
+    p_diff.add_argument("--search", default="bfs", choices=("bfs", "dfs"))
+    p_diff.set_defaults(func=_cmd_diff_verify)
+
+    p_store = sub.add_parser(
+        "store", help="inspect a persistent proof store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_inspect = store_sub.add_parser(
+        "inspect", help="print per-kind entry counts and segment sizes"
+    )
+    p_inspect.add_argument("path", help="proof store directory")
+    p_inspect.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_inspect.set_defaults(func=_cmd_store)
 
     p_portfolio = sub.add_parser(
         "portfolio", help="verify with the 5-order portfolio"
@@ -552,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
     )
     p_submit.add_argument("--show-cache-stats", action="store_true")
+    p_submit.add_argument(
+        "--baseline-digest", metavar="HEX", default=None,
+        help="program digest of a previously verified baseline; the "
+             "worker serves unchanged-thread facts from its proof store "
+             "(delta verification of an edit against a prior job)",
+    )
     engine_flag(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
 

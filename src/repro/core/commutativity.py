@@ -166,6 +166,8 @@ class SemanticCommutativity:
         #: optional persistent proof store; commutativity of a statement
         #: pair is a trace-independent fact, keyed by content digests
         self.proof_store = None
+        #: optional :class:`repro.delta.DeltaTracker` (delta runs only)
+        self.delta_tracker = None
 
     def commute(self, a: Statement, b: Statement) -> bool:
         if _same_thread(a, b):
@@ -187,6 +189,8 @@ class SemanticCommutativity:
         if store is not None:
             skey = _pair_store_key(a, b)
             stored = store.get(_KIND_COMM, skey)
+            if self.delta_tracker is not None:
+                self.delta_tracker.note_comm(a, b, stored is not None)
             if stored is not None:
                 result = bool(stored)
                 if self._memoize:
@@ -236,11 +240,18 @@ class ConditionalCommutativity:
         #: compare against it to apply the monotone invalidation rule
         self.vocabulary_epoch = 0
         self.proof_store = None
+        #: optional :class:`repro.delta.DeltaTracker` (delta runs only)
+        self.delta_tracker = None
 
     def attach_store(self, store) -> None:
         """Attach a persistent proof store to both relation layers."""
         self.proof_store = store
         self._unconditional.proof_store = store
+
+    def attach_delta(self, tracker) -> None:
+        """Attach a delta tracker to both relation layers (observation)."""
+        self.delta_tracker = tracker
+        self._unconditional.delta_tracker = tracker
 
     def commute(self, a: Statement, b: Statement) -> bool:
         return self._unconditional.commute(a, b)
@@ -293,6 +304,8 @@ class ConditionalCommutativity:
         if store is not None:
             skey = _pair_store_key(a, b, context)
             stored = store.get(_KIND_COMM_COND, skey)
+            if self.delta_tracker is not None:
+                self.delta_tracker.note_comm(a, b, stored is not None)
             if stored is not None:
                 result = bool(stored)
                 if self._memoize:

@@ -1,0 +1,53 @@
+"""Delta verification: structural diffs of program versions + replay.
+
+The verify pipeline's delta layer.  :mod:`repro.delta.diff` turns two
+program versions into an :class:`EditPlan` (per-thread, per-statement
+classification over content digests) and attributes persistent-store
+reuse to it; :mod:`repro.delta.replay` replays the baseline run's
+recorded exploration against the edited program up to the edit
+frontier.  Entry points: ``verify(config.baseline_digest=...)``, the
+``repro diff-verify`` CLI, and the service's ``baseline_digest`` job
+field.
+"""
+
+from .diff import (
+    ADDED,
+    EDITED,
+    REMOVED,
+    RESTRUCTURED,
+    UNCHANGED,
+    DeltaTracker,
+    EditPlan,
+    ThreadDelta,
+    diff_programs,
+    load_shape,
+    program_shape,
+    store_shape,
+    thread_shape,
+)
+from .replay import (
+    REPLAY_FORMAT,
+    REPLAY_LOG_LIMIT,
+    ReplaySource,
+    serialize_replay,
+)
+
+__all__ = [
+    "ADDED",
+    "EDITED",
+    "REMOVED",
+    "RESTRUCTURED",
+    "UNCHANGED",
+    "DeltaTracker",
+    "EditPlan",
+    "ThreadDelta",
+    "diff_programs",
+    "load_shape",
+    "program_shape",
+    "store_shape",
+    "thread_shape",
+    "REPLAY_FORMAT",
+    "REPLAY_LOG_LIMIT",
+    "ReplaySource",
+    "serialize_replay",
+]

@@ -1,0 +1,335 @@
+"""Edit-distance-aware replay of recorded exploration logs.
+
+PR 5's warm start replays the *previous round's* edges within one run;
+this module generalizes it **across program versions**: the per-round
+edge streams a solved run recorded (persisted in its ``explore``
+record) are replayed against an *edited* program, state by state, until
+the first state whose outgoing letters could be touched by the edit —
+from there the live search takes over.
+
+Why this is sound (and bit-identical under deterministic budgets):
+
+* A recorded state was expanded in the old run — neither a goal nor
+  covered there.  Goal-ness and coverage depend only on ⟨q, φ⟩ and on
+  definite solver facts (``entails`` answers are valid forever), so if
+  the new run reaches the *same* tuple under the *same* predicate
+  vocabulary, the determination still holds.
+* "Same tuple" is meaningful because replay requires a
+  skeleton-compatible edit (:attr:`EditPlan.replay_compatible`):
+  locations, edge-list order, observer status, and uid rank order all
+  survive, so a product state / sleep set / context recorded in the old
+  run denotes the identical object in the new one.
+* "Same vocabulary" is enforced per round: the recorded predicate
+  digests must be a bit-exact prefix match for the new run's vocabulary
+  at that round (:meth:`ReplaySource.map_for_round`).  The first
+  mismatching round kills replay permanently — refinement diverged, and
+  later rounds build on the divergent vocabulary.
+* The recorded *reduced* edge stream of a state is a sound reduction in
+  the new program provided no letter the reduction rule consulted was
+  edited.  The sleep rule reads the letters enabled at q; membranes
+  (persistent/combined modes) additionally read every statement
+  reachable *ahead* of q in each thread.  :class:`ReplaySource`
+  precomputes per-location touched tables for both and gates each
+  recorded state accordingly — a gated state is simply not answered,
+  and the engine's live path re-derives it (``delta_replay_gated``).
+
+The serialized payload is pure JSON (statement table by content digest,
+context codec below); a payload that fails to decode — or a context
+type the codec does not cover — degrades to "no replay", never to a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+from ..lang.program import ConcurrentProgram
+from ..lang.statements import Statement
+from .diff import EditPlan
+
+#: replay payload format; alien formats are ignored
+REPLAY_FORMAT = 1
+
+#: recorded state entries beyond this (summed over rounds) disable
+#: recording — replay payloads ride inside ``explore`` records and must
+#: stay a bounded fraction of the store
+REPLAY_LOG_LIMIT = 50_000
+
+
+class _Unsupported(Exception):
+    """A value outside the replay codec (serialization degrades to None)."""
+
+
+def _encode_context(ctx) -> list:
+    if ctx is None:
+        return [0]
+    if isinstance(ctx, (bool, int)):
+        # True == 1 and hash(True) == hash(1): the round-trip through
+        # int changes neither dict lookups nor tuple equality
+        return [1, int(ctx)]
+    if isinstance(ctx, str):
+        return [2, ctx]
+    if isinstance(ctx, tuple):
+        return [3, [_encode_context(c) for c in ctx]]
+    raise _Unsupported(f"context {type(ctx).__name__} not serializable")
+
+
+def _decode_context(obj):
+    tag = obj[0]
+    if tag == 0:
+        return None
+    if tag == 1:
+        return obj[1]
+    if tag == 2:
+        return obj[1]
+    if tag == 3:
+        return tuple(_decode_context(c) for c in obj[1])
+    raise ValueError(f"unknown context tag {tag!r}")
+
+
+def serialize_replay(round_logs, vocab_at_round, predicates) -> dict | None:
+    """Encode recorded rounds as a JSON-able replay payload.
+
+    *round_logs* is a list of per-round dicts mapping a check state
+    ``(q, φ, sleep, ctx)`` to its recorded warm edges ``(letter, q2,
+    sleep2, ctx2)``.  Statements are referenced through a digest table,
+    so the payload carries no process-local uids.  Returns None when
+    anything falls outside the codec (exotic context, non-int product
+    state) or the log overflows :data:`REPLAY_LOG_LIMIT` — the caller
+    simply persists no payload.
+    """
+    from ..store import statement_digest, term_digest
+
+    stmt_index: dict[int, int] = {}
+    stmt_digests: list[str] = []
+
+    def stmt_id(statement: Statement) -> int:
+        idx = stmt_index.get(statement.uid)
+        if idx is None:
+            idx = len(stmt_digests)
+            stmt_index[statement.uid] = idx
+            stmt_digests.append(statement_digest(statement).hex())
+        return idx
+
+    total = 0
+    rounds: list[list] = []
+    try:
+        for log in round_logs:
+            entries: list[list] = []
+            for (q, phi, sleep, ctx), edges in log.items():
+                if not all(isinstance(loc, int) for loc in q):
+                    raise _Unsupported("non-integer product state")
+                entries.append([
+                    list(q),
+                    sorted(phi),
+                    sorted(stmt_id(s) for s in sleep),
+                    _encode_context(ctx),
+                    [
+                        [
+                            stmt_id(a),
+                            list(q2),
+                            sorted(stmt_id(s) for s in sleep2),
+                            _encode_context(ctx2),
+                        ]
+                        for a, q2, sleep2, ctx2 in edges
+                    ],
+                ])
+            total += len(entries)
+            if total > REPLAY_LOG_LIMIT:
+                return None
+            rounds.append(entries)
+    except _Unsupported:
+        return None
+    return {
+        "format": REPLAY_FORMAT,
+        "statements": stmt_digests,
+        "vocab_at_round": list(vocab_at_round),
+        "pred_digests": [term_digest(p).hex() for p in predicates],
+        "rounds": rounds,
+    }
+
+
+class ReplaySource:
+    """Serves a baseline run's recorded edge streams to the new run.
+
+    Built by the delta stage of ``verify()`` when the edit plan is
+    replay-compatible; consumed by the checker's warm hook (pure
+    engine, bfs, incremental only).  Each round's map is translated
+    lazily and memoized; a vocabulary mismatch marks the source *dead*
+    for all later rounds.
+    """
+
+    def __init__(
+        self,
+        payload: dict,
+        plan: EditPlan,
+        program: ConcurrentProgram,
+        mode: str,
+    ) -> None:
+        from ..store import statement_digest
+
+        self.ok = (
+            isinstance(payload, dict)
+            and payload.get("format") == REPLAY_FORMAT
+            and isinstance(payload.get("rounds"), list)
+            and plan.replay_compatible
+        )
+        #: recorded states withheld because the edit could reach their
+        #: reduction decision (served instead by the live search)
+        self.gated_states = 0
+        #: recorded states dropped for mechanical reasons (an edited or
+        #: unmapped statement in the stream itself)
+        self.dropped_states = 0
+        #: rounds that produced a non-empty translated map
+        self.rounds_replayed = 0
+        self._dead = not self.ok
+        if not self.ok:
+            self._rounds = []
+            self._vocab = []
+            self._pred_digests = []
+            self._maps = {}
+            return
+        self._rounds = payload["rounds"]
+        self._vocab = payload.get("vocab_at_round") or []
+        self._pred_digests = payload.get("pred_digests") or []
+        self._maps: dict[int, dict | None] = {}
+        # digest -> new-program statement; digests are unique per
+        # statement (they cover thread, label, and payload), but an
+        # unexpected collision degrades to "unresolved", never to a
+        # misattributed letter
+        by_digest: dict[str, Statement | None] = {}
+        for _i, _src, statement, _dst in program.statements():
+            hexd = statement_digest(statement).hex()
+            by_digest[hexd] = None if hexd in by_digest else statement
+        self._stmts: list[Statement | None] = [
+            by_digest.get(hexd) for hexd in payload.get("statements") or []
+        ]
+        edited = plan.edited_uids
+        for pos, statement in enumerate(self._stmts):
+            if statement is not None and statement.uid in edited:
+                self._stmts[pos] = None  # edited letters never replay
+        # per-thread gate tables: does any *edited* statement hang off
+        # this location (enabled gate), or off any location reachable
+        # from it (future gate — membranes read ahead, §6)?
+        self._enabled_touched: list[dict[int, bool]] = []
+        self._future_touched: list[dict[int, bool]] | None = None
+        for thread in program.threads:
+            table = {
+                loc: any(
+                    s.uid in edited for s, _ in thread.edges.get(loc, ())
+                )
+                for loc in thread.locations
+            }
+            self._enabled_touched.append(table)
+        if mode in ("combined", "persistent"):
+            self._future_touched = []
+            for i, thread in enumerate(program.threads):
+                enabled = self._enabled_touched[i]
+                self._future_touched.append({
+                    loc: any(
+                        enabled.get(loc2, False)
+                        for loc2 in thread.reachable_from(loc)
+                    )
+                    for loc in thread.locations
+                })
+
+    # -- gates ---------------------------------------------------------------
+
+    def _gate_ok(self, q) -> bool:
+        """May the recorded reduction decision at *q* be trusted?
+
+        With a membrane in play the persistent-set choice at q read
+        every statement reachable ahead in each thread, so the edit must
+        be unreachable from q; the sleep rule alone only read the
+        letters enabled at q.
+        """
+        tables = (
+            self._future_touched
+            if self._future_touched is not None
+            else self._enabled_touched
+        )
+        for i, loc in enumerate(q):
+            if tables[i].get(loc, True):
+                return False
+        return True
+
+    def _predicates_ok(self, round_index: int, fh) -> bool:
+        from ..store import term_digest
+
+        if round_index >= len(self._vocab):
+            return False
+        vocab = self._vocab[round_index]
+        predicates = fh.predicates
+        if len(predicates) != vocab or vocab > len(self._pred_digests):
+            return False
+        return all(
+            term_digest(predicates[i]).hex() == self._pred_digests[i]
+            for i in range(vocab)
+        )
+
+    # -- per-round maps ------------------------------------------------------
+
+    def map_for_round(self, round_index: int, fh) -> dict | None:
+        """The warm map for the new run's round *round_index*, or None.
+
+        None means: no recorded round, vocabulary diverged (permanently
+        dead from then on), or nothing survived the gates.
+        """
+        if self._dead or round_index >= len(self._rounds):
+            return None
+        if not self._predicates_ok(round_index, fh):
+            # refinement diverged from the baseline run; every later
+            # round builds on the divergent vocabulary
+            self._dead = True
+            return None
+        if round_index not in self._maps:
+            self._maps[round_index] = self._translate(round_index)
+            if self._maps[round_index]:
+                self.rounds_replayed += 1
+        return self._maps[round_index]
+
+    def _translate(self, round_index: int) -> dict | None:
+        try:
+            return self._translate_round(self._rounds[round_index])
+        except (IndexError, TypeError, ValueError, KeyError):
+            # malformed payload: stop trusting it wholesale
+            self._dead = True
+            return None
+
+    def _translate_round(self, entries) -> dict | None:
+        stmts = self._stmts
+        out: dict = {}
+        for q_enc, phi_enc, sleep_enc, ctx_enc, edges_enc in entries:
+            q = tuple(q_enc)
+            if not self._gate_ok(q):
+                self.gated_states += 1
+                continue
+            sleep_stmts = [stmts[i] for i in sleep_enc]
+            if any(s is None for s in sleep_stmts):
+                self.dropped_states += 1
+                continue
+            edges = []
+            resolved = True
+            for a_idx, q2_enc, sl2_enc, ctx2_enc in edges_enc:
+                a = stmts[a_idx]
+                sl2 = [stmts[i] for i in sl2_enc]
+                if a is None or any(s is None for s in sl2):
+                    resolved = False
+                    break
+                edges.append(
+                    (
+                        a,
+                        tuple(q2_enc),
+                        frozenset(sl2),
+                        _decode_context(ctx2_enc),
+                    )
+                )
+            if not resolved:
+                self.dropped_states += 1
+                continue
+            state = (
+                q,
+                frozenset(phi_enc),
+                frozenset(sleep_stmts),
+                _decode_context(ctx_enc),
+            )
+            out[state] = tuple(edges)
+        return out or None

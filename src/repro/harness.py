@@ -311,6 +311,8 @@ def cache_summary(
     fh_delta_hits = fh_delta_misses = warm_reused = warm_dirty = 0
     store_hits = store_misses = store_writes = 0
     fast_rounds = fast_step_hits = fast_cmask_hits = fast_fallbacks = 0
+    delta_hoare_reused = delta_hoare_missed = 0
+    delta_comm_reused = delta_comm_missed = delta_replay_served = 0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
@@ -344,7 +346,16 @@ def cache_summary(
         fast_step_hits += qs.fastpath_step_hits
         fast_cmask_hits += qs.fastpath_commute_mask_hits
         fast_fallbacks += qs.fastpath_fallbacks
+        delta_hoare_reused += qs.delta_hoare_reused
+        delta_hoare_missed += qs.delta_hoare_missed
+        delta_comm_reused += qs.delta_comm_reused
+        delta_comm_missed += qs.delta_comm_missed
+        delta_replay_served += qs.delta_replay_served
     intern_asked = intern_hits + intern_misses
+    delta_asked = (
+        delta_hoare_reused + delta_hoare_missed
+        + delta_comm_reused + delta_comm_missed
+    )
     subst_asked = subst_hits + subst_misses
     return {
         "solver_sat_queries": sat,
@@ -377,6 +388,14 @@ def cache_summary(
         "store_hit_rate": (
             round(store_hits / (store_hits + store_misses), 4)
             if store_hits + store_misses
+            else 0.0
+        ),
+        "delta_hoare_reused": delta_hoare_reused,
+        "delta_comm_reused": delta_comm_reused,
+        "delta_replay_served": delta_replay_served,
+        "delta_fact_reuse_rate": (
+            round((delta_hoare_reused + delta_comm_reused) / delta_asked, 4)
+            if delta_asked
             else 0.0
         ),
     }

@@ -99,6 +99,21 @@ class ConcurrentProgram:
     def enabled(self, state: ProductState) -> tuple[Statement, ...]:
         return tuple(s for s, _ in self.successors(state))
 
+    def statements(self) -> Iterator[tuple[int, int, Statement, int]]:
+        """Every statement with its CFG position, in canonical order.
+
+        Yields ``(thread_index, src, statement, dst)`` sorted by thread,
+        then source location, then edge-list position — the same order
+        the content digests walk, so two structurally compatible
+        programs (same locations and edge lists, possibly different
+        statement contents) align position-for-position.  The delta
+        layer diffs program versions over exactly this alignment.
+        """
+        for i, t in enumerate(self.threads):
+            for src in sorted(t.edges):
+                for statement, dst in t.edges[src]:
+                    yield i, src, statement, dst
+
     def is_exit(self, state: ProductState) -> bool:
         return all(loc == t.exit for loc, t in zip(state, self.threads))
 

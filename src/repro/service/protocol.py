@@ -76,6 +76,7 @@ JOB_FIELDS = (
     "max_attempts",
     "faults",
     "engine",
+    "baseline_digest",
 )
 
 
@@ -155,6 +156,7 @@ def normalize_job_spec(raw: dict) -> dict:
         ("mode", str),
         ("search", str),
         ("faults", str),
+        ("baseline_digest", str),
     ):
         if key in spec and not isinstance(spec[key], typ):
             raise ProtocolError(f"{key!r} must be a {typ.__name__}")

@@ -75,6 +75,8 @@ def job_config(spec: dict, base: VerifierConfig, scale: float) -> VerifierConfig
         overrides["max_rounds"] = spec["max_rounds"]
     if spec.get("engine"):
         overrides["engine"] = spec["engine"]
+    if spec.get("baseline_digest"):
+        overrides["baseline_digest"] = spec["baseline_digest"]
     config = replace(base, **overrides) if overrides else base
     if config.time_budget is not None and scale != 1.0:
         config = replace(config, time_budget=config.time_budget * scale)

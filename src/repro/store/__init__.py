@@ -29,6 +29,7 @@ from .store import (
     KIND_EXPLORE,
     KIND_HOARE,
     KIND_SAT,
+    KIND_SHAPE,
     ProofStore,
     StoreStats,
     open_store,
@@ -51,6 +52,7 @@ __all__ = [
     "KIND_EXPLORE",
     "KIND_HOARE",
     "KIND_SAT",
+    "KIND_SHAPE",
     "ProofStore",
     "StoreStats",
     "open_store",

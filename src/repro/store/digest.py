@@ -60,6 +60,26 @@ _digest_memo: dict[int, bytes] = {}
 #: ``Statement.uid -> digest``; uids are process-local and never reused
 _stmt_digest_memo: dict[int, bytes] = {}
 
+#: entries dropped from a full memo to admit new ones (FIFO: dict
+#: insertion order approximates age); surfaced by :func:`digest_counters`
+_memo_evictions = 0
+
+
+def _memo_insert(memo: dict[int, bytes], key: int, value: bytes) -> None:
+    """Insert with an explicit cap: a full memo evicts its oldest entry.
+
+    Before this bound the full-memo path silently fell back to a
+    per-call overlay — correct, but every later call re-walked its whole
+    term with zero chance of a future hit, and nothing in the stats
+    showed it.  FIFO eviction keeps the memo serving hits at a bounded
+    size, and ``digest_memo_evictions`` makes the pressure visible.
+    """
+    global _memo_evictions
+    if len(memo) >= _DIGEST_MEMO_LIMIT and key not in memo:
+        memo.pop(next(iter(memo)))
+        _memo_evictions += 1
+    memo[key] = value
+
 
 def _blake(*parts: bytes) -> bytes:
     h = hashlib.blake2b(digest_size=DIGEST_SIZE)
@@ -111,8 +131,11 @@ def term_digest(term: Term) -> bytes:
 
     Iterative post-order walk: formulas can be deeper than the Python
     recursion limit (long conjunction spines from weakest-precondition
-    chains), so no recursion.  When the process-wide memo is full, the
-    walk falls back to a per-call overlay so results stay correct.
+    chains), so no recursion.  The walk writes into a per-call overlay
+    (bounded by the term's own node count and freed on return) and
+    publishes the results into the process-wide memo afterwards; the
+    memo itself is capped at ``_DIGEST_MEMO_LIMIT`` with FIFO eviction
+    (see :func:`_memo_insert`).
     """
     memo = _digest_memo
     hit = memo.get(term.nid)
@@ -139,11 +162,11 @@ def term_digest(term: Term) -> bytes:
                 memo.get(c.nid) or local[c.nid] for c in _children(node)
             )
             digest = _blake(*parts)
-        if len(memo) < _DIGEST_MEMO_LIMIT:
-            memo[node.nid] = digest
-        else:
-            local[node.nid] = digest
-    return memo.get(term.nid) or local[term.nid]
+        local[node.nid] = digest
+    result = local[term.nid]
+    for nid, digest in local.items():
+        _memo_insert(memo, nid, digest)
+    return result
 
 
 def statement_digest(statement: Statement) -> bytes:
@@ -171,8 +194,7 @@ def statement_digest(statement: Statement) -> bytes:
     parts.append(b"choices")
     parts.extend(name.encode() for name in statement.choices)
     digest = _blake(*parts)
-    if len(_stmt_digest_memo) < _DIGEST_MEMO_LIMIT:
-        _stmt_digest_memo[statement.uid] = digest
+    _memo_insert(_stmt_digest_memo, statement.uid, digest)
     return digest
 
 
@@ -262,4 +284,5 @@ def digest_counters() -> dict[str, int]:
     return {
         "term_digests_memoized": len(_digest_memo),
         "statement_digests_memoized": len(_stmt_digest_memo),
+        "digest_memo_evictions": _memo_evictions,
     }

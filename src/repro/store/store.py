@@ -70,8 +70,11 @@ KIND_HOARE = "hoare"        # Hoare-triple validity
 KIND_COMM = "comm"          # unconditional commutativity of a pair
 KIND_COMM_COND = "commc"    # conditional commutativity under a context
 KIND_EXPLORE = "explore"    # per-(program, order, search, mode) log
+KIND_SHAPE = "shape"        # per-program structural shape (delta diffing)
 
-KINDS = (KIND_SAT, KIND_HOARE, KIND_COMM, KIND_COMM_COND, KIND_EXPLORE)
+KINDS = (
+    KIND_SAT, KIND_HOARE, KIND_COMM, KIND_COMM_COND, KIND_EXPLORE, KIND_SHAPE
+)
 
 
 class StoreStats:
@@ -452,6 +455,37 @@ class ProofStore:
         out["store_entries"] = len(self)
         out["store_load_warnings"] = self.load_warnings
         return out
+
+    def inspect(self) -> dict:
+        """Static description of the store contents (``repro store inspect``).
+
+        Entry counts per kind over the merged view (pending included) and
+        the on-disk segment inventory — reusing the same segment listing
+        and merge the loader runs, so what it reports is exactly what a
+        fresh process would see.
+        """
+        by_kind = {kind: 0 for kind in KINDS}
+        merged = dict(self._entries)
+        merged.update(self._pending)
+        for kind, _key in merged:
+            by_kind[kind] += 1
+        segments = []
+        for segment in self._segments():
+            try:
+                size = segment.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            segments.append({"name": segment.name, "bytes": size})
+        return {
+            "path": str(self.path),
+            "format": FORMAT_VERSION,
+            "disabled": self.disabled,
+            "max_records": self.max_records,
+            "total_entries": len(merged),
+            "entries_by_kind": by_kind,
+            "segments": segments,
+            "load_warnings": self.load_warnings,
+        }
 
 
 def _atomic_write(path: Path, text: str) -> None:

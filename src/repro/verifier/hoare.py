@@ -91,6 +91,7 @@ class FloydHoareAutomaton:
         *,
         incremental: bool = True,
         proof_store=None,
+        delta_tracker=None,
     ) -> None:
         self._solver = solver
         self._incremental = incremental
@@ -98,6 +99,9 @@ class FloydHoareAutomaton:
         #: (context digest, statement digest, predicate digest), so they
         #: survive the process and program edits that do not touch them
         self._store = proof_store
+        #: optional :class:`repro.delta.DeltaTracker`: attributes each
+        #: store probe to the edit plan of a delta run (pure observation)
+        self.delta_tracker = delta_tracker
         self._predicates: list[Term] = []
         self._pred_index: dict[Term, int] = {}
         # (context.nid, letter.uid, pred_index): identity-keyed — a hit
@@ -281,6 +285,8 @@ class FloydHoareAutomaton:
                 term_digest(self._predicates[pred_index]),
             )
             hit = store.get(KIND_HOARE, skey)
+            if self.delta_tracker is not None:
+                self.delta_tracker.note_hoare(letter, hit is not None)
             if hit is not None:
                 result = bool(hit)
                 self._triple_cache[key] = result

@@ -90,6 +90,51 @@ class VerifierConfig:
     #: pure with a warning when the alphabet overflows a machine word).
     #: Defaults from ``REPRO_ENGINE``; CLI flag ``--engine``.
     engine: str = field(default_factory=default_engine)
+    #: delta verification: the content digest (hex) of a previously
+    #: verified program version whose stored shape this run's program is
+    #: an *edit* of.  Requires ``store_path``.  The pipeline's delta
+    #: stage diffs the two versions into an edit plan, attributes
+    #: store reuse to it (the ``delta_*`` counters), and — for
+    #: skeleton-compatible edits under bfs/incremental/pure — replays
+    #: the baseline run's recorded exploration up to the edit frontier.
+    #: A missing or unreadable baseline degrades to a plain run.
+    #: Verdicts are never affected: every reused fact is definite and
+    #: every replayed stream is gated (see :mod:`repro.delta`).
+    baseline_digest: str | None = None
+
+
+@dataclass
+class _PipelineState:
+    """Mutable context threaded through the staged ``verify()`` pipeline.
+
+    Each stage reads what earlier stages produced and fills in its own
+    fields; the stages themselves are plain functions, so each piece of
+    the historical monolith (store wiring, budgets, the delta layer,
+    checker construction, the CEGAR loop) is testable and readable on
+    its own.
+    """
+
+    program: ConcurrentProgram
+    order: PreferenceOrder
+    commutativity: CommutativityRelation
+    config: VerifierConfig
+    solver: Solver
+    # -- attach_store stage
+    store: object | None = None
+    store_baseline: dict | None = None
+    # -- clocks stage
+    started: float = 0.0
+    deadline: float | None = None
+    kernel_baseline: dict | None = None
+    digest_baseline: dict | None = None
+    tracking: bool = False
+    # -- delta stage
+    plan: object | None = None  # repro.delta.EditPlan
+    tracker: object | None = None  # repro.delta.DeltaTracker
+    replay: object | None = None  # repro.delta.ReplaySource
+    # -- build stage
+    fh: FloydHoareAutomaton | None = None
+    checker: ProofChecker | None = None
 
 
 def verify(
@@ -106,7 +151,31 @@ def verify(
     configuration is the paper's GemCutter: combined sleep + persistent
     reduction, proof-sensitive conditional commutativity, sequential
     ("seq") preference order.
+
+    Internally a staged pipeline: prepare → attach store → clocks →
+    **delta** (diff against ``config.baseline_digest``, attach reuse
+    attribution, arm exploration replay) → build (Floyd/Hoare automaton
+    + proof checker) → refine (the CEGAR loop).  Every stage before
+    *refine* only wires caches and observers, so a degraded stage (no
+    store, unreadable baseline, incompatible edit) can never change a
+    verdict — at worst the run is cold.
     """
+    ps = _stage_prepare(program, order, commutativity, config, solver)
+    _stage_attach_store(ps)
+    _stage_clocks(ps)
+    _stage_delta(ps)
+    _stage_build(ps)
+    return _stage_refine(ps)
+
+
+def _stage_prepare(
+    program: ConcurrentProgram,
+    order: PreferenceOrder | None,
+    commutativity: CommutativityRelation | None,
+    config: VerifierConfig | None,
+    solver: Solver | None,
+) -> _PipelineState:
+    """Fill in defaults and wire environment-driven fault injection."""
     config = config or VerifierConfig()
     order = order or ThreadUniformOrder()
     solver = solver or Solver()
@@ -115,37 +184,155 @@ def verify(
     # REPRO_FAULTS wires deterministic fault injection onto the solver
     # (no-op when unset or when the caller attached an injector already)
     attach_env_faults(solver, member=order.name)
+    return _PipelineState(program, order, commutativity, config, solver)
 
-    # persistent proof store: attach at every cache boundary that PR 4
-    # rekeyed by identity.  The store is shared process-wide per path,
-    # so counters are reported as the delta over this run.
-    store = None
-    store_baseline: dict | None = None
-    if config.store_path:
-        from ..store import open_store
 
-        store = open_store(config.store_path)
-        solver.proof_store = store
-        attach = getattr(commutativity, "attach_store", None)
-        if attach is not None:
-            attach(store)
-        store_baseline = store.counters()
+def _stage_attach_store(ps: _PipelineState) -> None:
+    """Attach the persistent proof store at every rekeyed cache boundary.
 
-    started = time.perf_counter()
+    The store is shared process-wide per path, so counters are reported
+    as the delta over this run (``store_baseline``).
+    """
+    if not ps.config.store_path:
+        return
+    from ..store import open_store
+
+    ps.store = open_store(ps.config.store_path)
+    ps.solver.proof_store = ps.store
+    attach = getattr(ps.commutativity, "attach_store", None)
+    if attach is not None:
+        attach(ps.store)
+    ps.store_baseline = ps.store.counters()
+
+
+def _stage_clocks(ps: _PipelineState) -> None:
+    """Start the run clock, budgets, and per-run counter baselines."""
+    from ..store import digest_counters
+
+    ps.started = time.perf_counter()
     # the kernel counters are process-wide; snapshot them so this run's
     # query_stats report the per-run delta, not the process cumulative
-    kernel_baseline = kernel_counters()
-    deadline = _deadline_epoch(started, config.time_budget)
+    ps.kernel_baseline = kernel_counters()
+    ps.digest_baseline = digest_counters()
+    ps.deadline = _deadline_epoch(ps.started, ps.config.time_budget)
     # long individual solver queries must also respect the budget; always
     # assign (even None) so a reused solver starts a fresh deadline epoch
     # and stale budget-limited UNKNOWNs from a previous run cannot leak
-    solver.deadline = deadline
-    tracking = config.track_memory
-    if tracking:
+    ps.solver.deadline = ps.deadline
+    ps.tracking = ps.config.track_memory
+    if ps.tracking:
         tracemalloc.start()
 
+
+def _stage_delta(ps: _PipelineState) -> None:
+    """The delta layer: diff against the baseline, arm reuse + replay.
+
+    Always persists this program's structural shape (any store-backed
+    run can serve as a future baseline).  With a ``baseline_digest``
+    configured, loads the baseline's stored shape, computes the
+    :class:`~repro.delta.EditPlan`, attaches a
+    :class:`~repro.delta.DeltaTracker` to the Hoare/commutativity store
+    probes (pure observation), and — when the edit is
+    skeleton-compatible and the run is bfs/incremental — arms replay of
+    the baseline run's recorded exploration.  Every failure mode
+    degrades to a plain run.
+    """
+    if ps.store is None:
+        return
+    from ..delta import (
+        DeltaTracker,
+        EditPlan,
+        ReplaySource,
+        load_shape,
+        store_shape,
+    )
+
+    store_shape(ps.store, ps.program)
+    if not ps.config.baseline_digest:
+        return
+    shape = load_shape(ps.store, ps.config.baseline_digest)
+    if shape is None:
+        return
+    plan = EditPlan.compute(
+        shape, ps.program, baseline_digest=ps.config.baseline_digest
+    )
+    ps.plan = plan
+    ps.tracker = DeltaTracker(plan)
+    attach = getattr(ps.commutativity, "attach_delta", None)
+    if attach is not None:
+        attach(ps.tracker)
+    elif hasattr(ps.commutativity, "delta_tracker"):
+        ps.commutativity.delta_tracker = ps.tracker
+    if not (
+        plan.replay_compatible
+        and ps.config.search == "bfs"
+        and ps.config.incremental
+    ):
+        return
+    from ..store import KIND_EXPLORE
+
+    record = ps.store.get(
+        KIND_EXPLORE,
+        _explore_key(
+            bytes.fromhex(ps.config.baseline_digest), ps.order.name, ps.config
+        ),
+    )
+    payload = record.get("replay") if isinstance(record, dict) else None
+    if not payload:
+        return
+    replay = ReplaySource(payload, plan, ps.program, ps.config.mode)
+    if replay.ok:
+        ps.replay = replay
+
+
+def _stage_build(ps: _PipelineState) -> None:
+    """Construct the Floyd/Hoare automaton and the proof checker."""
+    config = ps.config
+    ps.fh = FloydHoareAutomaton(
+        [],
+        ps.solver,
+        incremental=config.incremental,
+        proof_store=ps.store,
+        delta_tracker=ps.tracker,
+    )
+    cache = UselessStateCache() if (
+        config.use_useless_cache and config.search == "dfs"
+    ) else None
+    ps.checker = ProofChecker(
+        ps.program,
+        ps.order,
+        ps.commutativity,
+        mode=config.mode,
+        proof_sensitive=config.proof_sensitive,
+        search=config.search,
+        useless_cache=cache,
+        max_states=config.max_states_per_round,
+        deadline=ps.deadline,
+        memoize_commutativity=config.memoize_commutativity,
+        incremental=config.incremental,
+        engine=config.engine,
+    )
+    # exploration replay and recording are a pure-engine bfs feature
+    # (the fast path has its own warm machinery and no recorded log)
+    if (
+        ps.checker.engine_name == "pure"
+        and config.search == "bfs"
+        and config.incremental
+    ):
+        if ps.replay is not None:
+            ps.checker.replay = ps.replay
+        if ps.store is not None:
+            ps.checker.record_logs = True
+
+
+def _stage_refine(ps: _PipelineState) -> VerificationResult:
+    """The CEGAR loop (§7.2) over the pipeline's assembled state."""
+    program, order, config = ps.program, ps.order, ps.config
+    solver, commutativity = ps.solver, ps.commutativity
+    store, fh, checker = ps.store, ps.fh, ps.checker
+
     def elapsed() -> float:
-        return time.perf_counter() - started
+        return time.perf_counter() - ps.started
 
     def finish(result: VerificationResult) -> VerificationResult:
         result.time_seconds = elapsed()
@@ -162,8 +349,11 @@ def verify(
                 )
             store.flush()
         result.query_stats = QueryStats.collect(
-            solver, commutativity, checker, kernel_baseline=kernel_baseline,
-            store=store, store_baseline=store_baseline,
+            solver, commutativity, checker,
+            kernel_baseline=ps.kernel_baseline,
+            store=store, store_baseline=ps.store_baseline,
+            delta=ps.tracker, replay=ps.replay,
+            digest_baseline=ps.digest_baseline,
         )
         # verify() boundary is the kernel's compaction point: clear the
         # process-wide derived memos once they outgrow their budget so
@@ -173,32 +363,11 @@ def verify(
         # degradation flag from a DegradingCommutativity (runtime policy)
         if getattr(commutativity, "degraded", False):
             result.degraded = True
-        if tracking:
+        if ps.tracking:
             _, peak = tracemalloc.get_traced_memory()
             result.peak_memory_bytes = peak
             tracemalloc.stop()
         return result
-
-    fh = FloydHoareAutomaton(
-        [], solver, incremental=config.incremental, proof_store=store
-    )
-    cache = UselessStateCache() if (
-        config.use_useless_cache and config.search == "dfs"
-    ) else None
-    checker = ProofChecker(
-        program,
-        order,
-        commutativity,
-        mode=config.mode,
-        proof_sensitive=config.proof_sensitive,
-        search=config.search,
-        useless_cache=cache,
-        max_states=config.max_states_per_round,
-        deadline=deadline,
-        memoize_commutativity=config.memoize_commutativity,
-        incremental=config.incremental,
-        engine=config.engine,
-    )
 
     result = VerificationResult(
         program_name=program.name,
@@ -305,6 +474,26 @@ def verify(
     return finish(result)
 
 
+def _explore_key(
+    digest: bytes, order_name: str, config: "VerifierConfig"
+) -> bytes:
+    """The ``explore``-record key for a program digest + configuration.
+
+    Shared by the writer, the same-program reader, and the delta stage
+    (which keys by the *baseline's* digest instead of the current
+    program's) — the three must agree bit-for-bit.
+    """
+    from ..store import pair_digest
+
+    return pair_digest(
+        digest,
+        order_name.encode(),
+        config.search.encode(),
+        config.mode.encode(),
+        b"inc" if config.incremental else b"scratch",
+    )
+
+
 def _record_exploration(
     store, program, order, config, checker, result, fh
 ) -> None:
@@ -314,24 +503,14 @@ def _record_exploration(
     a re-verification (or a delta-verification of an edited program that
     hashes differently) can read what the previous run did: verdict,
     rounds, per-round state counts, proof predicates (canonically
-    serialized, re-interned on load), and the checker's warm-start/
-    engine summary.  Only called for solved verdicts — budget-dependent
-    outcomes are never persisted.
+    serialized, re-interned on load), the checker's warm-start/engine
+    summary, and — when round logs were recorded — the replay payload a
+    future delta run replays (:mod:`repro.delta.replay`).  Only called
+    for solved verdicts — budget-dependent outcomes are never persisted.
     """
-    from ..store import (
-        KIND_EXPLORE,
-        pair_digest,
-        program_digest,
-        term_to_obj,
-    )
+    from ..store import KIND_EXPLORE, program_digest, term_to_obj
 
-    key = pair_digest(
-        program_digest(program),
-        order.name.encode(),
-        config.search.encode(),
-        config.mode.encode(),
-        b"inc" if config.incremental else b"scratch",
-    )
+    key = _explore_key(program_digest(program), order.name, config)
     record = {
         "program": program.name,
         "order": order.name,
@@ -348,6 +527,9 @@ def _record_exploration(
         "predicates": [term_to_obj(p) for p in fh.predicates],
         "exploration": checker.exploration_summary(),
     }
+    payload = checker.replay_payload(fh)
+    if payload is not None:
+        record["replay"] = payload
     store.put(KIND_EXPLORE, key, record)
 
 
@@ -361,15 +543,9 @@ def load_exploration(
     the store has no (readable) record.  Malformed predicate encodings
     degrade to an empty predicate list, never an exception.
     """
-    from ..store import KIND_EXPLORE, pair_digest, program_digest, term_from_obj
+    from ..store import KIND_EXPLORE, program_digest, term_from_obj
 
-    key = pair_digest(
-        program_digest(program),
-        order_name.encode(),
-        config.search.encode(),
-        config.mode.encode(),
-        b"inc" if config.incremental else b"scratch",
-    )
+    key = _explore_key(program_digest(program), order_name, config)
     record = store.get(KIND_EXPLORE, key)
     if not isinstance(record, dict):
         return None

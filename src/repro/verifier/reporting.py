@@ -50,6 +50,12 @@ _CSV_FIELDS = (
     "service_retries",
     "service_shed",
     "service_breaker_trips",
+    "delta_threads_unchanged",
+    "delta_threads_edited",
+    "delta_hoare_reused",
+    "delta_comm_reused",
+    "delta_fact_reuse_rate",
+    "delta_replay_served",
     "failure_reason",
     "attempts",
     "respawns",
@@ -112,6 +118,16 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                 "service_breaker_trips": (
                     qs.service_breaker_trips if qs else ""
                 ),
+                "delta_threads_unchanged": (
+                    qs.delta_threads_unchanged if qs else ""
+                ),
+                "delta_threads_edited": qs.delta_threads_edited if qs else "",
+                "delta_hoare_reused": qs.delta_hoare_reused if qs else "",
+                "delta_comm_reused": qs.delta_comm_reused if qs else "",
+                "delta_fact_reuse_rate": (
+                    f"{qs.delta_fact_reuse_rate:.4f}" if qs else ""
+                ),
+                "delta_replay_served": qs.delta_replay_served if qs else "",
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

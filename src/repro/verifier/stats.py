@@ -131,6 +131,23 @@ class QueryStats:
     service_retries: int = 0
     service_shed: int = 0
     service_breaker_trips: int = 0
+    # delta verification (repro.delta); all zero outside delta runs.
+    # The plan counters describe the edit; the reused/missed splits
+    # count persistent-store probes for Hoare and commutativity facts
+    # during the delta run; the replay counters cover cross-version
+    # exploration replay.  ``digest_memo_evictions`` is the digest memo
+    # cap pressure over this run (delta of the process counter).
+    delta_threads_unchanged: int = 0
+    delta_threads_edited: int = 0
+    delta_statements_edited: int = 0
+    delta_hoare_reused: int = 0
+    delta_hoare_missed: int = 0
+    delta_comm_reused: int = 0
+    delta_comm_missed: int = 0
+    delta_replay_served: int = 0
+    delta_replay_gated: int = 0
+    delta_rounds_replayed: int = 0
+    digest_memo_evictions: int = 0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -191,6 +208,16 @@ class QueryStats:
             return 0.0
         return self.store_hits / asked
 
+    @property
+    def delta_fact_reuse_rate(self) -> float:
+        """Fraction of Hoare + commutativity store probes served from
+        the store during a delta run (the headline reuse metric)."""
+        reused = self.delta_hoare_reused + self.delta_comm_reused
+        asked = reused + self.delta_hoare_missed + self.delta_comm_missed
+        if not asked:
+            return 0.0
+        return reused / asked
+
     @classmethod
     def collect(
         cls,
@@ -200,6 +227,9 @@ class QueryStats:
         kernel_baseline: dict | None = None,
         store=None,
         store_baseline: dict | None = None,
+        delta=None,
+        replay=None,
+        digest_baseline: dict | None = None,
     ) -> "QueryStats":
         """Snapshot counters from the run's collaborators.
 
@@ -207,7 +237,11 @@ class QueryStats:
         snapshot taken at the start of the run; the term-kernel fields
         are reported as the delta against it (the kernel counters are
         process-wide, so the diff isolates this run's share).  Without a
-        baseline the cumulative values are reported.
+        baseline the cumulative values are reported.  *delta* / *replay*
+        are the run's :class:`~repro.delta.DeltaTracker` and
+        :class:`~repro.delta.ReplaySource` (delta runs only);
+        *digest_baseline* is a :func:`repro.store.digest_counters`
+        snapshot, diffed the same way as the kernel baseline.
         """
         from ..logic import kernel_counters
 
@@ -289,6 +323,28 @@ class QueryStats:
                 counters["store_writes"] - base.get("store_writes", 0)
             )
             out.store_entries = counters["store_entries"]  # absolute
+        if delta is not None:
+            plan = delta.plan
+            out.delta_threads_unchanged = plan.threads_unchanged
+            out.delta_threads_edited = plan.threads_edited
+            out.delta_statements_edited = plan.statements_edited
+            out.delta_hoare_reused = delta.hoare_reused
+            out.delta_hoare_missed = delta.hoare_missed
+            out.delta_comm_reused = delta.comm_reused
+            out.delta_comm_missed = delta.comm_missed
+        if checker is not None:
+            out.delta_replay_served = getattr(
+                checker, "delta_replay_served", 0
+            )
+        if replay is not None:
+            out.delta_replay_gated = replay.gated_states
+            out.delta_rounds_replayed = replay.rounds_replayed
+        if digest_baseline is not None:
+            from ..store import digest_counters
+
+            out.digest_memo_evictions = digest_counters()[
+                "digest_memo_evictions"
+            ] - digest_baseline.get("digest_memo_evictions", 0)
         return out
 
     @classmethod
@@ -308,6 +364,7 @@ class QueryStats:
         out["substitute_hit_rate"] = round(self.substitute_hit_rate, 4)
         out["free_vars_hit_rate"] = round(self.free_vars_hit_rate, 4)
         out["store_hit_rate"] = round(self.store_hit_rate, 4)
+        out["delta_fact_reuse_rate"] = round(self.delta_fact_reuse_rate, 4)
         return out
 
     def summary(self) -> str:
@@ -371,6 +428,26 @@ class QueryStats:
                 f"commute masks {self.fastpath_commute_mask_hits} hits / "
                 f"{self.fastpath_commute_mask_misses} misses, "
                 f"{self.fastpath_fallbacks} fallbacks"
+            )
+        if (
+            self.delta_threads_unchanged
+            or self.delta_threads_edited
+            or self.delta_hoare_reused
+            or self.delta_replay_served
+        ):
+            lines.append(
+                "delta:         "
+                f"{self.delta_threads_unchanged} threads unchanged / "
+                f"{self.delta_threads_edited} edited "
+                f"({self.delta_statements_edited} statements), "
+                f"fact reuse {self.delta_fact_reuse_rate:.1%} "
+                f"(hoare {self.delta_hoare_reused}/"
+                f"{self.delta_hoare_reused + self.delta_hoare_missed}, "
+                f"comm {self.delta_comm_reused}/"
+                f"{self.delta_comm_reused + self.delta_comm_missed}); "
+                f"replay {self.delta_replay_served} served, "
+                f"{self.delta_replay_gated} gated, "
+                f"{self.delta_rounds_replayed} rounds"
             )
         if (
             self.service_jobs

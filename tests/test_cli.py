@@ -84,6 +84,134 @@ class TestVerify:
         assert "sat queries" in out
 
 
+class TestProofStoreFlags:
+    def test_flag_wins_over_env(self, program_file, tmp_path, monkeypatch):
+        """Regression: --proof-store PATH must beat REPRO_PROOF_STORE."""
+        from repro.store import reset_store_registry
+
+        flag_dir = tmp_path / "flag-store"
+        env_dir = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_PROOF_STORE", str(env_dir))
+        reset_store_registry()
+        assert main(
+            ["verify", program_file, "--proof-store", str(flag_dir)]
+        ) == 0
+        reset_store_registry()
+        assert list(flag_dir.glob("segment-*"))
+        assert not env_dir.exists()
+
+    def test_env_used_without_flag(self, program_file, tmp_path, monkeypatch):
+        from repro.store import reset_store_registry
+
+        env_dir = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_PROOF_STORE", str(env_dir))
+        reset_store_registry()
+        assert main(["verify", program_file]) == 0
+        reset_store_registry()
+        assert list(env_dir.glob("segment-*"))
+
+    def test_no_proof_store_beats_both(
+        self, program_file, tmp_path, monkeypatch
+    ):
+        from repro.store import reset_store_registry
+
+        flag_dir = tmp_path / "flag-store"
+        env_dir = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_PROOF_STORE", str(env_dir))
+        reset_store_registry()
+        assert main(
+            ["verify", program_file, "--proof-store", str(flag_dir),
+             "--no-proof-store"]
+        ) == 0
+        reset_store_registry()
+        assert not flag_dir.exists()
+        assert not env_dir.exists()
+
+
+class TestDeltaCommands:
+    OLD = """
+var x: int = 0;
+var z: int = 0;
+thread A { x := x + 1; assert x >= 1; }
+thread C { z := z + 1; }
+"""
+    NEW = OLD.replace("z := z + 1;", "z := z + 2;")
+
+    @pytest.fixture()
+    def pair(self, tmp_path):
+        old = tmp_path / "old.cprog"
+        new = tmp_path / "new.cprog"
+        old.write_text(self.OLD)
+        new.write_text(self.NEW)
+        return str(old), str(new)
+
+    def test_diff_verify_requires_store(self, pair, monkeypatch):
+        monkeypatch.delenv("REPRO_PROOF_STORE", raising=False)
+        old, new = pair
+        with pytest.raises(SystemExit, match="proof store"):
+            main(["diff-verify", old, new])
+
+    def test_diff_verify_end_to_end(self, pair, tmp_path, capsys):
+        from repro.store import reset_store_registry
+
+        old, new = pair
+        store = str(tmp_path / "store")
+        reset_store_registry()
+        code = main(
+            ["diff-verify", old, new, "--proof-store", store,
+             "--show-cache-stats"]
+        )
+        reset_store_registry()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edit plan: threads: 1 unchanged, 1 edited" in out
+        assert "baseline not in store; verifying OLD first" in out
+        assert "delta:" in out
+
+    def test_diff_verify_warm_baseline(self, pair, tmp_path, capsys):
+        from repro.store import reset_store_registry
+
+        old, new = pair
+        store = str(tmp_path / "store")
+        reset_store_registry()
+        assert main(["verify", old, "--proof-store", store]) == 0
+        reset_store_registry()
+        assert main(["diff-verify", old, new, "--proof-store", store]) == 0
+        reset_store_registry()
+        out = capsys.readouterr().out
+        assert "verifying OLD first" not in out
+
+    def test_store_inspect(self, pair, tmp_path, capsys):
+        from repro.store import reset_store_registry
+
+        old, _ = pair
+        store = str(tmp_path / "store")
+        reset_store_registry()
+        assert main(["verify", old, "--proof-store", store]) == 0
+        reset_store_registry()
+        assert main(["store", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out
+        assert "shape" in out
+        assert "segments:" in out
+
+    def test_store_inspect_json(self, pair, tmp_path, capsys):
+        import json
+
+        from repro.store import reset_store_registry
+
+        old, _ = pair
+        store = str(tmp_path / "store")
+        reset_store_registry()
+        assert main(["verify", old, "--proof-store", store]) == 0
+        reset_store_registry()
+        capsys.readouterr()  # drain the verify output
+        assert main(["store", "inspect", store, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["total_entries"] > 0
+        assert info["entries_by_kind"]["shape"] == 1
+
+
 class TestOtherCommands:
     def test_check(self, program_file, capsys):
         assert main(["check", program_file]) == 0

@@ -573,3 +573,25 @@ def test_normalize_job_spec_defaults_and_family():
     # unlisted fields never reach the journal
     spec = protocol.normalize_job_spec({"bench": "x", "evil": "payload"})
     assert "evil" not in spec
+
+
+def test_normalize_job_spec_baseline_digest():
+    # delta verification: tenants quote a prior job's program digest
+    spec = protocol.normalize_job_spec(
+        {"bench": "x", "baseline_digest": "ab" * 16}
+    )
+    assert spec["baseline_digest"] == "ab" * 16
+    with pytest.raises(protocol.ProtocolError):
+        protocol.normalize_job_spec({"bench": "x", "baseline_digest": 7})
+
+
+def test_job_config_baseline_digest_override():
+    from repro.service.worker import job_config
+    from repro.verifier import VerifierConfig
+
+    base = VerifierConfig()
+    config = job_config(
+        {"baseline_digest": "cd" * 16}, base, 1.0
+    )
+    assert config.baseline_digest == "cd" * 16
+    assert job_config({}, base, 1.0).baseline_digest is None
