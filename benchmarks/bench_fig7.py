@@ -37,20 +37,21 @@ _HISTORY = [
     {"pr": "PR3 unified exploration stack", "wall_seconds": 508.5},
     {"pr": "PR4 hash-consed term kernel", "wall_seconds": 443.4},
     {"pr": "PR5 incremental CEGAR rounds", "wall_seconds": 430.2},
+    {"pr": "PR8 integer-kernel fast path", "wall_seconds": 309.0},
 ]
 
 
 def _emit_trajectory(wall: float, caches: dict) -> None:
     entry = {
-        "pr": "PR8 integer-kernel fast path",
+        "pr": "PR10 portfolio triage",
         "wall_seconds": round(wall, 1),
         "budget_seconds": float(os.environ.get("REPRO_BUDGET", "20")),
         "engine": default_engine(),
-        "fh_step_delta_hits": caches["fh_step_delta_hits"],
-        "warm_start_reused": caches["warm_start_reused"],
         "fastpath_rounds": caches["fastpath_rounds"],
-        "fastpath_step_hits": caches["fastpath_step_hits"],
-        "fastpath_fallbacks": caches["fastpath_fallbacks"],
+        "triage_ranker_hits": caches["triage_ranker_hits"],
+        "triage_ladder_stages": caches["triage_ladder_stages"],
+        "triage_preemptions": caches["triage_preemptions"],
+        "triage_budget_saved_seconds": caches["triage_budget_saved_seconds"],
     }
     payload = {"trajectory": [*_HISTORY, entry]}
     atomic_write_text(TRAJECTORY_PATH, json.dumps(payload, indent=2) + "\n")

@@ -144,6 +144,9 @@ def _run(source, name, search, store_path=None, baseline_digest=None):
         max_rounds=60,
         store_path=store_path,
         baseline_digest=baseline_digest,
+        # exploration-log replay is recorded by the pure engine only;
+        # the pinned delta_replay_served counters assume it
+        engine="pure",
     )
     result = verify(
         program, ThreadUniformOrder(), ConditionalCommutativity(solver),

@@ -201,6 +201,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"segments: {len(segments)} ({total} bytes)")
         for segment in segments:
             print(f"  {segment['name']:32s} {segment['bytes']:>10d} bytes")
+        if info.get("outcome_families"):
+            print("outcome rows (triage advisory):")
+            for family, count in sorted(info["outcome_families"].items()):
+                print(f"  {family:24s} {count}")
         if info["load_warnings"]:
             print(f"load warnings: {info['load_warnings']}")
         return 0
@@ -235,6 +239,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         incremental=not args.no_incremental,
         store_path=_store_path(args),
         engine=args.engine or default_engine(),
+        triage=args.triage,
     )
     if args.parallel_portfolio:
         from .verifier import RetryPolicy
@@ -262,6 +267,38 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     if args.show_cache_stats:
         _print_cache_stats(aggregated)
     return 0 if aggregated.verdict.solved else 1
+
+
+def _cmd_orders(args: argparse.Namespace) -> int:
+    """Print the triage plan without running anything."""
+    from .store import ProofStore
+    from .verifier import plan_portfolio, standard_orders
+
+    program = _read_program(args.file)
+    store_path = _store_path(args)
+    store = ProofStore(store_path) if store_path else None
+    plan = plan_portfolio(
+        program,
+        standard_orders(program),
+        time_budget=args.timeout,
+        store=store,
+    )
+    feats = plan.features
+    print(f"{program.name}: family={plan.family}  threads={feats.num_threads}  "
+          f"|Σ|={feats.alphabet_size}")
+    print(f"features: conflict_density={feats.conflict_density:.3f}  "
+          f"guard_density={feats.guard_density:.3f}")
+    print("ranked members:")
+    for i, member in enumerate(plan.ranked, start=1):
+        tag = " (refit)" if member.fitted else ""
+        dispersion = feats.dispersion.get(member.order_name, 0.0)
+        print(f"  {i}. {member.order_name:12s} score={member.score:+.3f}  "
+              f"kind={member.kind}{tag}  dispersion={dispersion:.3f}")
+    stages = ", ".join(
+        "full" if b is None else f"{b:.2f}s" for b in plan.stage_budgets
+    )
+    print(f"budget ladder: [{stages}]")
+    return 0
 
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
@@ -366,6 +403,8 @@ def _submit_spec(args: argparse.Namespace, *, bench=None, path=None) -> dict:
         spec["engine"] = args.engine
     if getattr(args, "baseline_digest", None):
         spec["baseline_digest"] = args.baseline_digest
+    if getattr(args, "no_triage", False):
+        spec["triage"] = False
     return spec
 
 
@@ -462,7 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "differential oracle) or 'fast' (integer ids/bitmasks; "
                  "bit-identical exploration, falls back to pure when the "
                  "alphabet exceeds 64 letters); defaults to REPRO_ENGINE "
-                 "or 'pure'",
+                 "or 'fast'",
         )
 
     def common_flags(p):
@@ -570,7 +609,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="respawn UNKNOWN/TIMEOUT/ERROR members up to N times with "
              "doubled solver budgets and deadlines",
     )
+    p_portfolio.add_argument(
+        "--triage", dest="triage", action="store_true", default=True,
+        help="feature-ranked member order, staged budget ladder, and "
+             "progress-based loser preemption (default: on)",
+    )
+    p_portfolio.add_argument(
+        "--no-triage", dest="triage", action="store_false",
+        help="flat portfolio: canonical member order, full budgets, no "
+             "preemption",
+    )
     p_portfolio.set_defaults(func=_cmd_portfolio)
+
+    p_orders = sub.add_parser(
+        "orders",
+        help="print the triage plan: ranked portfolio members with "
+             "feature scores and the staged budget ladder",
+    )
+    p_orders.add_argument("file", help="program file ('-' for stdin)")
+    p_orders.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="member budget the ladder is derived from (no ladder "
+             "when omitted)",
+    )
+    p_orders.add_argument("--proof-store", metavar="PATH", default=None)
+    p_orders.add_argument("--no-proof-store", action="store_true")
+    p_orders.set_defaults(func=_cmd_orders)
 
     p_reduce = sub.add_parser(
         "reduce", help="report reduction automaton sizes"
@@ -684,6 +748,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="program digest of a previously verified baseline; the "
              "worker serves unchanged-thread facts from its proof store "
              "(delta verification of an edit against a prior job)",
+    )
+    p_submit.add_argument(
+        "--no-triage", action="store_true",
+        help="disable portfolio triage for these jobs (worker-side "
+             "VerifierConfig override)",
     )
     engine_flag(p_submit)
     p_submit.set_defaults(func=_cmd_submit)

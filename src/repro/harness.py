@@ -17,7 +17,10 @@ Environment knobs:
   repro.verifier.faults), applied to every verification run;
 * ``REPRO_PROOF_STORE`` — directory of a persistent content-addressed
   proof store (repro.store); solved solver/Hoare/commutativity verdicts
-  are reused across harness sessions.
+  are reused across harness sessions;
+* ``REPRO_TRIAGE=0`` — disable portfolio triage (feature-ranked member
+  order, staged budget ladders, progress preemption; see
+  repro.verifier.triage) and race all members flat.  Default on.
 """
 
 from __future__ import annotations
@@ -82,12 +85,17 @@ def proof_store_path() -> str | None:
     return os.environ.get("REPRO_PROOF_STORE") or None
 
 
+def triage_enabled() -> bool:
+    return os.environ.get("REPRO_TRIAGE", "1") not in ("0", "")
+
+
 def _config(**overrides) -> VerifierConfig:
     base = dict(
         max_rounds=round_budget(),
         time_budget=time_budget(),
         track_memory=True,
         store_path=proof_store_path(),
+        triage=triage_enabled(),
     )
     base.update(overrides)
     return VerifierConfig(**base)
@@ -313,6 +321,8 @@ def cache_summary(
     fast_rounds = fast_step_hits = fast_cmask_hits = fast_fallbacks = 0
     delta_hoare_reused = delta_hoare_missed = 0
     delta_comm_reused = delta_comm_missed = delta_replay_served = 0
+    triage_ranker_hits = triage_ladder_stages = triage_preemptions = 0
+    triage_budget_saved = 0.0
     solver_time = 0.0
     for _bench, result in pairs:
         qs = result.query_stats
@@ -351,6 +361,10 @@ def cache_summary(
         delta_comm_reused += qs.delta_comm_reused
         delta_comm_missed += qs.delta_comm_missed
         delta_replay_served += qs.delta_replay_served
+        triage_ranker_hits += qs.triage_ranker_hits
+        triage_ladder_stages += qs.triage_ladder_stages
+        triage_preemptions += qs.triage_preemptions
+        triage_budget_saved += qs.triage_budget_saved_seconds
     intern_asked = intern_hits + intern_misses
     delta_asked = (
         delta_hoare_reused + delta_hoare_missed
@@ -398,4 +412,8 @@ def cache_summary(
             if delta_asked
             else 0.0
         ),
+        "triage_ranker_hits": triage_ranker_hits,
+        "triage_ladder_stages": triage_ladder_stages,
+        "triage_preemptions": triage_preemptions,
+        "triage_budget_saved_seconds": round(triage_budget_saved, 3),
     }

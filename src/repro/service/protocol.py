@@ -77,6 +77,7 @@ JOB_FIELDS = (
     "faults",
     "engine",
     "baseline_digest",
+    "triage",
 )
 
 
@@ -174,4 +175,6 @@ def normalize_job_spec(raw: dict) -> dict:
             raise ProtocolError("'timeout' must be positive")
     if "engine" in spec and spec["engine"] not in ("pure", "fast"):
         raise ProtocolError(f"unknown engine {spec['engine']!r}")
+    if "triage" in spec and not isinstance(spec["triage"], bool):
+        raise ProtocolError("'triage' must be a boolean")
     return spec

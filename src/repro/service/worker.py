@@ -6,8 +6,10 @@ injected ``os._exit`` or a watchdog SIGKILL costs one attempt, never
 the server.  The child talks to the scheduler over a one-way pipe:
 
 * ``("hb", {...})`` — heartbeat/progress, every ``hb_interval``
-  seconds from a daemon thread (elapsed wall clock + the process-wide
-  solver query count), streamed on to ``wait --stream`` subscribers;
+  seconds from a daemon thread (elapsed wall clock, the process-wide
+  solver query count, and the triage progress counters —
+  refinement rounds + states explored), streamed on to
+  ``wait --stream`` subscribers;
 * ``("result", VerificationResult)`` — the verdict (pickled; terms
   re-intern in the parent via the PR 4 ``__reduce__`` hook);
 * ``("crash", reason)`` — a contained Python-level failure.
@@ -37,6 +39,7 @@ from ..verifier.faults import ENV_VAR, FaultInjector, MemberFaultPlan
 from ..verifier.refinement import VerifierConfig, verify
 from ..verifier.runtime import BASE_BRANCH_BUDGET, BASE_NODE_BUDGET
 from ..verifier.stats import VerificationResult
+from ..verifier.triage import attach_progress_meter, progress_payload
 
 #: heartbeat cadence of the worker-side progress thread
 DEFAULT_HB_INTERVAL = 0.25
@@ -77,6 +80,8 @@ def job_config(spec: dict, base: VerifierConfig, scale: float) -> VerifierConfig
         overrides["engine"] = spec["engine"]
     if spec.get("baseline_digest"):
         overrides["baseline_digest"] = spec["baseline_digest"]
+    if spec.get("triage") is not None:
+        overrides["triage"] = bool(spec["triage"])
     config = replace(base, **overrides) if overrides else base
     if config.time_budget is not None and scale != 1.0:
         config = replace(config, time_budget=config.time_budget * scale)
@@ -98,16 +103,15 @@ def run_job_in_child(
     started = time.perf_counter()
     stop = threading.Event()
 
-    def heartbeat(solver: Solver) -> None:
+    def heartbeat(solver: Solver, meter) -> None:
         while not stop.wait(hb_interval):
             try:
                 conn.send(
                     (
                         "hb",
-                        {
-                            "elapsed": time.perf_counter() - started,
-                            "sat_queries": solver.stats.sat_queries,
-                        },
+                        progress_payload(
+                            time.perf_counter() - started, solver, meter
+                        ),
                     )
                 )
             except Exception:  # pipe gone: parent killed us or moved on
@@ -122,8 +126,9 @@ def run_job_in_child(
         )
         if fault_plan is not None and fault_plan.active:
             solver.fault_injector = FaultInjector(fault_plan)
+        meter = attach_progress_meter(solver)
         beat = threading.Thread(
-            target=heartbeat, args=(solver,), daemon=True
+            target=heartbeat, args=(solver, meter), daemon=True
         )
         beat.start()
         result = verify(

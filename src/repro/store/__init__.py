@@ -28,6 +28,7 @@ from .store import (
     KIND_COMM_COND,
     KIND_EXPLORE,
     KIND_HOARE,
+    KIND_OUTCOME,
     KIND_SAT,
     KIND_SHAPE,
     ProofStore,
@@ -51,6 +52,7 @@ __all__ = [
     "KIND_COMM_COND",
     "KIND_EXPLORE",
     "KIND_HOARE",
+    "KIND_OUTCOME",
     "KIND_SAT",
     "KIND_SHAPE",
     "ProofStore",

@@ -30,7 +30,10 @@ truncated or bit-flipped records — degrades to a *cold start* with a
 logged warning: the store serves fewer hits, never a wrong or stale
 verdict.  Definite verdicts are the only thing ever stored; callers
 must not insert budget-dependent UNKNOWN outcomes (see the
-``put_*`` docstrings).
+``put_*`` docstrings).  The one exception is :data:`KIND_OUTCOME`:
+advisory portfolio-triage observations (order, verdict, wall time)
+that are only ever read back to choose member start order and budget
+shares — never consulted for a verdict, so staleness is harmless.
 
 Compaction keeps the store within ``max_records``: when the merged
 entry count exceeds the cap, the oldest *untouched* entries are evicted
@@ -71,9 +74,11 @@ KIND_COMM = "comm"          # unconditional commutativity of a pair
 KIND_COMM_COND = "commc"    # conditional commutativity under a context
 KIND_EXPLORE = "explore"    # per-(program, order, search, mode) log
 KIND_SHAPE = "shape"        # per-program structural shape (delta diffing)
+KIND_OUTCOME = "outcome"    # portfolio-member outcome row (triage ranker)
 
 KINDS = (
-    KIND_SAT, KIND_HOARE, KIND_COMM, KIND_COMM_COND, KIND_EXPLORE, KIND_SHAPE
+    KIND_SAT, KIND_HOARE, KIND_COMM, KIND_COMM_COND, KIND_EXPLORE,
+    KIND_SHAPE, KIND_OUTCOME,
 )
 
 
@@ -295,6 +300,28 @@ class ProofStore:
         k = (kind, key.hex())
         return k in self._pending or k in self._entries
 
+    def items(self, kind: str):
+        """All ``(hex key, value)`` pairs of *kind*, key-sorted.
+
+        Merged view (pending overrides published); sorted so iteration
+        order — and anything derived from it, like the triage ranker's
+        re-fit — is deterministic regardless of segment layout.  Does
+        not touch the hit/miss counters.
+        """
+        if self.disabled:
+            return []
+        merged = {
+            key: value
+            for (k, key), value in self._entries.items()
+            if k == kind
+        }
+        merged.update(
+            (key, value)
+            for (k, key), value in self._pending.items()
+            if k == kind
+        )
+        return sorted(merged.items())
+
     # -- persistence --------------------------------------------------------
 
     def flush(self) -> int:
@@ -469,6 +496,14 @@ class ProofStore:
         merged.update(self._pending)
         for kind, _key in merged:
             by_kind[kind] += 1
+        outcome_families: dict[str, int] = {}
+        for (kind, _key), value in merged.items():
+            if kind == KIND_OUTCOME and isinstance(value, dict):
+                family = value.get("family")
+                if isinstance(family, str):
+                    outcome_families[family] = (
+                        outcome_families.get(family, 0) + 1
+                    )
         segments = []
         for segment in self._segments():
             try:
@@ -483,6 +518,7 @@ class ProofStore:
             "max_records": self.max_records,
             "total_entries": len(merged),
             "entries_by_kind": by_kind,
+            "outcome_families": dict(sorted(outcome_families.items())),
             "segments": segments,
             "load_warnings": self.load_warnings,
         }

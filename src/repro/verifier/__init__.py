@@ -36,6 +36,18 @@ from .runtime import (
     run_parallel_portfolio,
 )
 from .stats import QueryStats, RoundStats, Verdict, VerificationResult
+from .triage import (
+    MemberRanker,
+    ProgramFeatures,
+    ProgressMeter,
+    RankedMember,
+    TriagePlan,
+    emulate_staged_wall,
+    extract_features,
+    ladder_stages,
+    plan_portfolio,
+    progress_dominated,
+)
 
 __all__ = [
     "certify",
@@ -75,4 +87,14 @@ __all__ = [
     "RoundStats",
     "Verdict",
     "VerificationResult",
+    "MemberRanker",
+    "ProgramFeatures",
+    "ProgressMeter",
+    "RankedMember",
+    "TriagePlan",
+    "emulate_staged_wall",
+    "extract_features",
+    "ladder_stages",
+    "plan_portfolio",
+    "progress_dominated",
 ]

@@ -6,19 +6,29 @@ orders — with the portfolio terminating as soon as any order's analysis
 terminates.  Two strategies implement this:
 
 * ``strategy="sequential"`` (default): members run one after another in
-  this process and the parallel wall-clock is *emulated* as the minimum
-  member time.  Deterministic and cheap — the benchmark figures use it
-  so the paper-reproduction numbers stay stable.  Member exceptions are
-  contained: a member that raises (OOM, recursion blowup, injected
-  crash) is recorded as ``Verdict.ERROR`` instead of killing the run.
+  this process and the parallel wall-clock is *emulated*.  Deterministic
+  and cheap — the benchmark figures use it so the paper-reproduction
+  numbers stay stable.  Member exceptions are contained: a member that
+  raises (OOM, recursion blowup, injected crash) is recorded as
+  ``Verdict.ERROR`` instead of killing the run.
 * ``strategy="parallel"``: the real thing — isolated worker processes,
   hard watchdog deadlines, first-winner cancellation, retries.  See
   :mod:`repro.verifier.runtime`.
+
+Both strategies are built on :mod:`repro.verifier.triage` (on by
+default, ``VerifierConfig.triage=False`` / ``--no-triage`` restores the
+flat race): the feature ranker picks the start order, the budget ladder
+runs successive-halving slices before the full budget, and the first
+winner short-circuits the rest.  Triage only decides *who runs when and
+on how much budget* — a member that completes runs under exactly the
+untriaged configuration (the ladder's final rung is the full budget),
+so verdicts and completed-member results are bit-identical to
+``triage=False``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,7 +45,13 @@ from ..lang.program import ConcurrentProgram
 from ..logic import Solver
 from .faults import FaultPlan
 from .refinement import VerifierConfig, verify
-from .stats import Verdict, VerificationResult
+from .stats import QueryStats, Verdict, VerificationResult
+from .triage import (
+    TriagePlan,
+    emulate_staged_wall,
+    plan_portfolio,
+    record_outcome,
+)
 
 DEFAULT_RANDOM_SEEDS = (1, 2, 3)
 
@@ -60,14 +76,23 @@ class PortfolioResult:
 
     ``strategy`` records how the members were executed; ``wall_seconds``
     is the measured end-to-end wall clock when the parallel runtime ran
-    (``None`` under sequential emulation, where the parallel wall clock
-    is estimated from member times instead).
+    (``None`` under sequential emulation).  ``emulated_wall_seconds`` is
+    the sequential strategy's model of the parallel wall clock — under
+    triage it follows the staged ladder schedule (rungs are barriers,
+    a winner cancels everything at its finish instant) instead of the
+    historical plain min/max over member times.  ``triage`` carries the
+    deterministic plan the run used (None when triage was off).
     """
 
     program_name: str
     members: list[VerificationResult] = field(default_factory=list)
     strategy: str = "sequential"
     wall_seconds: float | None = None
+    emulated_wall_seconds: float | None = None
+    triage: TriagePlan | None = None
+    #: triage observability: ranker hits / ladder stages / preemptions /
+    #: budget saved, folded into the aggregate's query_stats
+    triage_counters: dict | None = None
 
     @property
     def solved(self) -> bool:
@@ -89,13 +114,29 @@ class PortfolioResult:
     def elapsed_seconds(self) -> float:
         """Total elapsed wall clock attributable to the portfolio.
 
-        The measured wall clock when available (parallel runtime),
-        otherwise the slowest member — under parallel semantics the
-        portfolio gives up only when its last member does.
+        The measured wall clock when available (parallel runtime), then
+        the staged-schedule emulation (triaged sequential), otherwise
+        the slowest member — under parallel semantics the portfolio
+        gives up only when its last member does.
         """
         if self.wall_seconds is not None:
             return self.wall_seconds
+        if self.emulated_wall_seconds is not None:
+            return self.emulated_wall_seconds
         return max((m.time_seconds for m in self.members), default=0.0)
+
+    def _apply_triage_counters(self, out: VerificationResult) -> None:
+        if not self.triage_counters:
+            return
+        if out.query_stats is None:
+            out.query_stats = QueryStats()
+        qs = out.query_stats
+        qs.triage_ranker_hits = self.triage_counters.get("ranker_hits", 0)
+        qs.triage_ladder_stages = self.triage_counters.get("ladder_stages", 0)
+        qs.triage_preemptions = self.triage_counters.get("preemptions", 0)
+        qs.triage_budget_saved_seconds = self.triage_counters.get(
+            "budget_saved_seconds", 0.0
+        )
 
     def aggregate(self) -> VerificationResult:
         """A single result reflecting parallel portfolio execution."""
@@ -113,7 +154,7 @@ class PortfolioResult:
                 reason = f"no member solved ({count} members: {breakdown})"
             else:
                 reason = "empty portfolio (0 members)"
-            return VerificationResult(
+            out = VerificationResult(
                 program_name=self.program_name,
                 verdict=Verdict.UNKNOWN,
                 order_name="portfolio",
@@ -123,6 +164,8 @@ class PortfolioResult:
                 respawns=sum(m.respawns for m in self.members),
                 degraded=any(m.degraded for m in self.members),
             )
+            self._apply_triage_counters(out)
+            return out
         out = VerificationResult(
             program_name=self.program_name,
             verdict=best.verdict,
@@ -130,7 +173,11 @@ class PortfolioResult:
             proof_size=best.proof_size,
             num_predicates=best.num_predicates,
             states_explored=best.states_explored,
-            time_seconds=best.time_seconds,
+            time_seconds=(
+                self.emulated_wall_seconds
+                if self.emulated_wall_seconds is not None
+                else best.time_seconds
+            ),
             peak_memory_bytes=best.peak_memory_bytes,
             counterexample=best.counterexample,
             query_stats=best.query_stats,
@@ -141,6 +188,7 @@ class PortfolioResult:
             respawns=sum(m.respawns for m in self.members),
             degraded=best.degraded,
         )
+        self._apply_triage_counters(out)
         return out
 
 
@@ -161,7 +209,8 @@ def verify_portfolio(
     :func:`repro.verifier.runtime.run_parallel_portfolio` (isolated
     workers, watchdog ``member_timeout``, ``retry`` policy, optional
     ``fault_plan``); the default sequential emulation runs members
-    in-process with per-member crash containment.
+    in-process with per-member crash containment.  Both strategies
+    triage by default (``config.triage``) — see the module docstring.
     """
     if strategy == "parallel":
         from .runtime import run_parallel_portfolio
@@ -179,31 +228,191 @@ def verify_portfolio(
             f"unknown portfolio strategy {strategy!r} "
             "(use 'sequential' or 'parallel')"
         )
-    result = PortfolioResult(program_name=program.name)
-    for order in standard_orders(program, seeds):
-        solver = Solver()
-        if fault_plan is not None:
-            injector = fault_plan.injector_for(order.name)
-            if injector is not None:
-                solver.fault_injector = injector
-        commutativity = (
-            commutativity_factory(solver)
-            if commutativity_factory is not None
-            else ConditionalCommutativity(solver)
+    config = config or VerifierConfig()
+    orders = standard_orders(program, seeds)
+    if config.triage:
+        return _sequential_triaged(
+            program, orders, config,
+            commutativity_factory=commutativity_factory,
+            fault_plan=fault_plan,
         )
-        try:
-            member = verify(
-                program, order, commutativity, config=config, solver=solver
+    result = PortfolioResult(program_name=program.name)
+    for order in orders:
+        result.members.append(
+            _run_member(
+                program, order, config,
+                commutativity_factory=commutativity_factory,
+                fault_plan=fault_plan,
             )
-        except Exception as exc:  # crash containment (parity with the
-            # parallel runtime: a misbehaving member must not kill the
-            # portfolio; KeyboardInterrupt etc. still propagate)
-            member = VerificationResult(
+        )
+    return result
+
+
+def _run_member(
+    program: ConcurrentProgram,
+    order: PreferenceOrder,
+    config: VerifierConfig,
+    *,
+    commutativity_factory,
+    fault_plan: FaultPlan | None,
+) -> VerificationResult:
+    """One sequential member: fresh solver, faults, crash containment.
+
+    The one place a sequential member runs — the triaged and flat paths
+    share it, which is what makes "a completed member is bit-identical
+    either way" true by construction.
+    """
+    solver = Solver()
+    if fault_plan is not None:
+        injector = fault_plan.injector_for(order.name)
+        if injector is not None:
+            solver.fault_injector = injector
+    commutativity = (
+        commutativity_factory(solver)
+        if commutativity_factory is not None
+        else ConditionalCommutativity(solver)
+    )
+    try:
+        return verify(
+            program, order, commutativity, config=config, solver=solver
+        )
+    except Exception as exc:  # crash containment (parity with the
+        # parallel runtime: a misbehaving member must not kill the
+        # portfolio; KeyboardInterrupt etc. still propagate)
+        return VerificationResult(
+            program_name=program.name,
+            verdict=Verdict.ERROR,
+            order_name=order.name,
+            mode=config.mode,
+            failure_reason=f"member crashed: {type(exc).__name__}: {exc}",
+        )
+
+
+def _sequential_triaged(
+    program: ConcurrentProgram,
+    orders: list[PreferenceOrder],
+    config: VerifierConfig,
+    *,
+    commutativity_factory,
+    fault_plan: FaultPlan | None,
+) -> PortfolioResult:
+    """The triaged sequential race: rank, ladder, short-circuit.
+
+    Members run best-ranked first on successive-halving budget slices;
+    the first solved member cancels everything still pending (mirroring
+    the parallel runtime's winner cancellation), and members that
+    survive every slice re-run at the *full* budget on the final rung
+    with a fresh solver — so each member's final result is exactly what
+    the flat race would have produced for it.  Slice attempts that time
+    out are discarded, never reported.
+    """
+    store = None
+    if config.store_path:
+        from ..store import open_store
+
+        store = open_store(config.store_path)
+    plan = plan_portfolio(
+        program, orders, time_budget=config.time_budget, store=store
+    )
+    order_by_name = {order.name: order for order in orders}
+    ranked = plan.order_names()
+    rank_index = {name: i for i, name in enumerate(ranked)}
+    stages = plan.stage_budgets
+    final_stage = len(stages) - 1
+
+    finished: dict[str, VerificationResult] = {}
+    slice_rounds: dict[str, int] = {}  # escalation order within rungs
+    spent: dict[str, float] = {name: 0.0 for name in ranked}
+    stage_runs: list[list[float]] = []
+    pending = list(ranked)
+    winner_name: str | None = None
+    winner_at: tuple[int, float] | None = None
+    ladder_stages_run = 0
+
+    for stage_index, slice_budget in enumerate(stages):
+        if not pending:
+            break
+        ladder_stages_run += 1
+        is_final = stage_index == final_stage
+        stage_config = (
+            config
+            if is_final or slice_budget is None
+            else replace(config, time_budget=slice_budget)
+        )
+        if stage_index > 0:
+            # survivors escalate most-promising first: descending slice
+            # progress (refinement rounds), rank as the tiebreak
+            pending.sort(
+                key=lambda n: (-slice_rounds.get(n, 0), rank_index[n])
+            )
+        runs: list[float] = []
+        stage_runs.append(runs)
+        survivors: list[str] = []
+        for name in pending:
+            member = _run_member(
+                program, order_by_name[name], stage_config,
+                commutativity_factory=commutativity_factory,
+                fault_plan=fault_plan,
+            )
+            runs.append(member.time_seconds)
+            spent[name] += member.time_seconds
+            if member.verdict.solved or is_final:
+                finished[name] = member
+                if store is not None:
+                    record_outcome(
+                        store, program, plan.features, member, config,
+                        stage_config.time_budget,
+                    )
+            else:
+                # slice exhausted: discard the budget-truncated result
+                # (never reported) and remember its progress
+                slice_rounds[name] = member.rounds
+                survivors.append(name)
+            if member.verdict.solved:
+                winner_name = name
+                winner_at = (stage_index, member.time_seconds)
+                break
+        if winner_name is not None:
+            break
+        pending = survivors
+
+    members: list[VerificationResult] = []
+    preemptions = 0
+    budget_saved = 0.0
+    for name in ranked:
+        if name in finished:
+            members.append(finished[name])
+            continue
+        # cancelled before completing: same synthesized shape as the
+        # parallel runtime's winner cancellation
+        preemptions += 1
+        if config.time_budget is not None:
+            budget_saved += max(0.0, config.time_budget - spent[name])
+        members.append(
+            VerificationResult(
                 program_name=program.name,
-                verdict=Verdict.ERROR,
-                order_name=order.name,
-                mode=(config.mode if config is not None else "combined"),
-                failure_reason=f"member crashed: {type(exc).__name__}: {exc}",
+                verdict=Verdict.UNKNOWN,
+                order_name=name,
+                mode=config.mode,
+                time_seconds=spent[name],
+                failure_reason=(
+                    f"cancelled (portfolio winner: {winner_name})"
+                ),
             )
-        result.members.append(member)
+        )
+    if store is not None:
+        store.flush()
+
+    result = PortfolioResult(
+        program_name=program.name,
+        members=members,
+        triage=plan,
+        emulated_wall_seconds=emulate_staged_wall(stage_runs, winner_at),
+        triage_counters={
+            "ranker_hits": int(winner_name == ranked[0]) if ranked else 0,
+            "ladder_stages": ladder_stages_run,
+            "preemptions": preemptions,
+            "budget_saved_seconds": round(budget_saved, 4),
+        },
+    )
     return result

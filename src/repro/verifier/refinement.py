@@ -43,14 +43,16 @@ ENGINE_CHOICES = ("pure", "fast")
 def default_engine() -> str:
     """The engine to use when a config does not pin one.
 
-    ``REPRO_ENGINE=fast`` (or ``pure``) overrides process-wide — the
-    hook CI and the benchmark harness use to run the whole stack on the
-    integer fast path without threading a flag through every call site.
-    Unset or unrecognized values mean ``"pure"``, keeping pinned
-    baselines stable.
+    ``REPRO_ENGINE=pure`` (or ``fast``) overrides process-wide — the
+    hook CI and the benchmark harness use to pin the whole stack to one
+    engine without threading a flag through every call site.  Unset or
+    unrecognized values mean ``"fast"``: the integer fast path has been
+    bit-identical under the exploration-identity guard for a full
+    deprecation window (PR 8 → PR 10), so it is now the default; the
+    pure stack stays fully supported as the differential oracle.
     """
     value = os.environ.get("REPRO_ENGINE", "").strip().lower()
-    return value if value in ENGINE_CHOICES else "pure"
+    return value if value in ENGINE_CHOICES else "fast"
 
 
 @dataclass
@@ -101,6 +103,13 @@ class VerifierConfig:
     #: Verdicts are never affected: every reused fact is definite and
     #: every replayed stream is gated (see :mod:`repro.delta`).
     baseline_digest: str | None = None
+    #: portfolio triage (:mod:`repro.verifier.triage`): feature-ranked
+    #: member order, staged budget ladders, and progress-based loser
+    #: preemption.  Only read by the portfolio strategies — a single
+    #: ``verify()`` call ignores it.  Triage chooses *who runs first
+    #: and on how much budget*, never what a member computes, so
+    #: verdicts stay bit-identical to ``--no-triage``.
+    triage: bool = True
 
 
 @dataclass
@@ -395,6 +404,11 @@ def _stage_refine(ps: _PipelineState) -> VerificationResult:
         check_done = time.perf_counter()
         result.rounds += 1
         result.states_explored += outcome.states_explored
+        # triage progress metering: a worker's heartbeat thread reads the
+        # meter attached to this run's solver (repro.verifier.triage)
+        meter = getattr(solver, "progress_meter", None)
+        if meter is not None:
+            meter.update(result.rounds, result.states_explored)
         round_stats = RoundStats(
             states_explored=outcome.states_explored,
             check_seconds=check_done - round_started,

@@ -56,6 +56,10 @@ _CSV_FIELDS = (
     "delta_comm_reused",
     "delta_fact_reuse_rate",
     "delta_replay_served",
+    "triage_ranker_hits",
+    "triage_ladder_stages",
+    "triage_preemptions",
+    "triage_budget_saved_seconds",
     "failure_reason",
     "attempts",
     "respawns",
@@ -128,6 +132,14 @@ def results_to_csv(results: Iterable[VerificationResult]) -> str:
                     f"{qs.delta_fact_reuse_rate:.4f}" if qs else ""
                 ),
                 "delta_replay_served": qs.delta_replay_served if qs else "",
+                "triage_ranker_hits": qs.triage_ranker_hits if qs else "",
+                "triage_ladder_stages": (
+                    qs.triage_ladder_stages if qs else ""
+                ),
+                "triage_preemptions": qs.triage_preemptions if qs else "",
+                "triage_budget_saved_seconds": (
+                    f"{qs.triage_budget_saved_seconds:.4f}" if qs else ""
+                ),
                 "failure_reason": r.failure_reason or "",
                 "attempts": r.attempts,
                 "respawns": r.respawns,

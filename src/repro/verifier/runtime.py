@@ -59,6 +59,14 @@ from ..service.policy import RetryPolicy
 from .faults import ENV_VAR, FaultInjector, FaultPlan, MemberFaultPlan
 from .refinement import VerifierConfig, verify
 from .stats import Verdict, VerificationResult
+from .triage import (
+    attach_progress_meter,
+    ladder_stages,
+    plan_portfolio,
+    progress_dominated,
+    progress_payload,
+    record_outcome,
+)
 
 #: mirrors of Solver.__init__'s defaults — the base the retry policy's
 #: budget escalation multiplies
@@ -68,6 +76,10 @@ BASE_NODE_BUDGET = 200_000
 #: unknown-fallbacks threshold after which a member degrades to
 #: syntactic commutativity (None disables degradation)
 DEFAULT_DEGRADE_AFTER = 25
+
+#: cadence of the worker→parent progress heartbeat (the service's
+#: heartbeat plumbing, generalized into :mod:`repro.verifier.triage`)
+HB_INTERVAL = 0.25
 
 
 class DegradingCommutativity(ConditionalCommutativity):
@@ -149,9 +161,35 @@ def _member_worker(
         commutativity = DegradingCommutativity(
             solver, degrade_after=degrade_after
         )
-        result = verify(
-            program, order, commutativity, config=config, solver=solver
-        )
+        # stream progress (elapsed, solver calls, refinement rounds,
+        # states expanded) so the parent can preempt progress-dominated
+        # members before their watchdog deadline; pure observation — a
+        # dead pipe just ends the heartbeats
+        meter = attach_progress_meter(solver)
+        hb_started = time.perf_counter()
+        hb_stop = threading.Event()
+
+        def send_heartbeats() -> None:
+            while not hb_stop.wait(HB_INTERVAL):
+                try:
+                    conn.send((
+                        "hb",
+                        progress_payload(
+                            time.perf_counter() - hb_started, solver, meter
+                        ),
+                    ))
+                except Exception:
+                    return
+
+        hb_thread = threading.Thread(target=send_heartbeats, daemon=True)
+        hb_thread.start()
+        try:
+            result = verify(
+                program, order, commutativity, config=config, solver=solver
+            )
+        finally:
+            hb_stop.set()
+            hb_thread.join(timeout=1.0)
         conn.send(("result", result))
     except BaseException as exc:  # noqa: BLE001 - crash containment
         try:
@@ -178,6 +216,17 @@ class _Member:
     next_spawn: float = 0.0
     history: list = field(default_factory=list)
     final: VerificationResult | None = None
+    # -- triage state --------------------------------------------------
+    #: current budget-ladder rung (0 = first slice); a slice-deadline
+    #: kill escalates the rung instead of recording a TIMEOUT
+    rung: int = 0
+    #: latest heartbeat payload from the running worker
+    progress: dict | None = None
+    #: preempted as progress-dominated: parked, not finished — re-runs
+    #: at full budget if the race ends winnerless (defer, never drop)
+    deferred: bool = False
+    #: watchdog seconds still unburned when the member was deferred
+    saved_remaining: float = 0.0
 
     @property
     def name(self) -> str:
@@ -230,11 +279,31 @@ def run_parallel_portfolio(
     # query_stats can report the parent-side share (the worker-side delta
     # it carries reflects the *worker* process, which saw none)
     reintern_baseline = kernel_counters()["reintern_count"]
-    members = [_Member(order=o) for o in standard_orders(program, seeds)]
+    orders = standard_orders(program, seeds)
+    triage_on = config.triage
+    plan = None
+    store = None
+    if triage_on:
+        if config.store_path:
+            from ..store import open_store
+
+            store = open_store(config.store_path)
+        plan = plan_portfolio(
+            program, orders, time_budget=member_timeout, store=store
+        )
+        by_name = {order.name: order for order in orders}
+        orders = [by_name[m.order_name] for m in plan.ranked]
+    # the budget ladder needs a watchdog to slice; without one the race
+    # runs as a single unbounded rung
+    ladder_active = triage_on and member_timeout is not None
+    preempt_count = 0
+    budget_saved = 0.0
+    members = [_Member(order=o) for o in orders]
     outcome = PortfolioResult(program_name=program.name, strategy="parallel")
 
     def spawn(member: _Member) -> None:
         member.attempt += 1
+        member.progress = None
         scale = retry.scale(member.attempt)
         worker_config = replace(
             config,
@@ -273,11 +342,20 @@ def run_parallel_portfolio(
         member.proc = proc
         member.conn = parent_conn
         member.spawned_at = time.perf_counter()
-        member.deadline = (
-            member.spawned_at + member_timeout * scale
-            if member_timeout is not None
-            else None
-        )
+        if member_timeout is None:
+            member.deadline = None
+            return
+        full_budget = member_timeout * scale
+        if ladder_active:
+            # the worker's own config is untouched — the slice is purely
+            # a parent-side watchdog, so a run that *finishes* inside its
+            # slice is bit-identical to the untriaged full-budget run,
+            # and a sliced-off run is discarded, never reported
+            rungs = ladder_stages(full_budget)
+            budget = rungs[min(member.rung, len(rungs) - 1)]
+        else:
+            budget = full_budget
+        member.deadline = member.spawned_at + budget
 
     def reap(member: _Member) -> None:
         """Tear down the current worker (if any) without recording."""
@@ -314,8 +392,19 @@ def run_parallel_portfolio(
             member.final = result
 
     def cancel(member: _Member, winner_name: str) -> None:
+        nonlocal preempt_count, budget_saved
         now = time.perf_counter()
         was_running = member.running
+        # triage observability: cancelling a live (or parked) member
+        # saves the watchdog budget it would have burned to its deadline
+        if was_running:
+            preempt_count += 1
+            if member.deadline is not None:
+                budget_saved += max(0.0, member.deadline - now)
+        elif member.deferred:
+            # already counted as a preemption when it was parked; the
+            # win just makes its saved budget definitive
+            budget_saved += member.saved_remaining
         reap(member)
         if member.history:
             # a cancelled retry keeps its last observed failure — that
@@ -380,10 +469,19 @@ def run_parallel_portfolio(
                 terminate(received_signals[0])
                 break
             now = time.perf_counter()
+            # deferral is never a drop: once every unfinished member is
+            # parked (preempted) and no winner emerged, revive them all
+            # for a full-budget run — no verdict is lost to preemption
+            unfinished = [m for m in members if m.final is None]
+            if unfinished and all(m.deferred for m in unfinished):
+                for member in unfinished:
+                    member.deferred = False
+                    member.next_spawn = now
             for member in members:
                 if (
                     member.final is None
                     and not member.running
+                    and not member.deferred
                     and now >= member.next_spawn
                 ):
                     spawn(member)
@@ -399,40 +497,67 @@ def run_parallel_portfolio(
             by_conn = {m.conn: m for m in members if m.running}
             for conn in ready:
                 member = by_conn[conn]
-                try:
-                    kind, payload = conn.recv()
-                except (EOFError, OSError):
-                    # pipe closed without a message: the worker died hard
-                    member.proc.join(timeout=1.0)
-                    exitcode = member.proc.exitcode
-                    finish_attempt(
-                        member,
-                        synthesize(
-                            Verdict.ERROR,
+                finished_member = False
+                while not finished_member:
+                    try:
+                        kind, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # pipe closed without a message: the worker died
+                        # hard
+                        member.proc.join(timeout=1.0)
+                        exitcode = member.proc.exitcode
+                        finish_attempt(
                             member,
-                            f"worker died (exit code {exitcode}, "
-                            f"attempt {member.attempt})",
-                        ),
-                    )
-                    continue
-                if kind == "result":
-                    finish_attempt(member, payload)
-                else:  # "crash"
-                    finish_attempt(
-                        member,
-                        synthesize(
-                            Verdict.ERROR,
+                            synthesize(
+                                Verdict.ERROR,
+                                member,
+                                f"worker died (exit code {exitcode}, "
+                                f"attempt {member.attempt})",
+                            ),
+                        )
+                        break
+                    if kind == "hb":
+                        # progress heartbeat: record and keep draining —
+                        # the result may already be queued behind it
+                        member.progress = payload
+                        if not conn.poll():
+                            break
+                        continue
+                    finished_member = True
+                    if kind == "result":
+                        finish_attempt(member, payload)
+                    else:  # "crash"
+                        finish_attempt(
                             member,
-                            f"worker crashed: {payload} "
-                            f"(attempt {member.attempt})",
-                        ),
-                    )
+                            synthesize(
+                                Verdict.ERROR,
+                                member,
+                                f"worker crashed: {payload} "
+                                f"(attempt {member.attempt})",
+                            ),
+                        )
 
             now = time.perf_counter()
             for member in members:
                 if not member.running:
                     continue
                 if member.deadline is not None and now > member.deadline:
+                    max_rung = (
+                        len(ladder_stages(member_timeout)) - 1
+                        if ladder_active
+                        else 0
+                    )
+                    if ladder_active and member.rung < max_rung:
+                        # ladder slice exhausted: escalate to the next
+                        # rung instead of recording a TIMEOUT.  The
+                        # attempt counter rolls back so the re-spawn
+                        # runs with the same retry scale the untriaged
+                        # attempt would have had.
+                        reap(member)
+                        member.attempt -= 1
+                        member.rung += 1
+                        member.next_spawn = now
+                        continue
                     budget = member.deadline - member.spawned_at
                     finish_attempt(
                         member,
@@ -455,6 +580,28 @@ def run_parallel_portfolio(
                         ),
                     )
 
+            # progress-based preemption: a running member far behind the
+            # round leader is parked (deferred) before its watchdog
+            # fires — its budget is only spent if the race ends
+            # winnerless and it revives
+            if triage_on:
+                running = [m for m in members if m.running]
+                if len(running) > 1:
+                    leader_rounds = max(
+                        (m.progress or {}).get("rounds", 0) for m in running
+                    )
+                    for member in running:
+                        if progress_dominated(member.progress, leader_rounds):
+                            reap(member)
+                            member.attempt -= 1
+                            member.deferred = True
+                            member.saved_remaining = (
+                                max(0.0, member.deadline - now)
+                                if member.deadline is not None
+                                else 0.0
+                            )
+                            preempt_count += 1
+
             for member in members:
                 if member.final is not None and member.final.verdict.solved:
                     winner = member.final
@@ -474,6 +621,36 @@ def run_parallel_portfolio(
 
     outcome.members = [m.final for m in members]
     outcome.wall_seconds = time.perf_counter() - started
+    if triage_on and plan is not None:
+        outcome.triage = plan
+        ranked_first = plan.ranked[0].order_name if plan.ranked else None
+        outcome.triage_counters = {
+            "ranker_hits": int(
+                winner is not None and winner.order_name == ranked_first
+            ),
+            "ladder_stages": (
+                1 + max((m.rung for m in members), default=0)
+                if ladder_active
+                else 1
+            ),
+            "preemptions": preempt_count,
+            "budget_saved_seconds": round(budget_saved, 4),
+        }
+        if store is not None:
+            # outcome rows feed the ranker's re-fit: record members that
+            # genuinely ran to completion (not cancelled, not crashes)
+            for member in members:
+                result = member.final
+                if (
+                    result is not None
+                    and result.verdict is not Verdict.ERROR
+                    and "cancelled" not in (result.failure_reason or "")
+                ):
+                    record_outcome(
+                        store, program, plan.features, result, config,
+                        member_timeout,
+                    )
+            store.flush()
     # attribute parent-side re-interning (deserialized predicates,
     # counterexample guards, ...) to the reported stats: prefer the
     # winner, else the first member that carried query_stats across

@@ -148,6 +148,18 @@ class QueryStats:
     delta_replay_gated: int = 0
     delta_rounds_replayed: int = 0
     digest_memo_evictions: int = 0
+    # portfolio triage (repro.verifier.triage); filled in by the
+    # portfolio strategies on the winner's stats, zero elsewhere.
+    # ``triage_ranker_hits`` is 1 when the feature ranker's top pick won
+    # the race; ``triage_ladder_stages`` counts budget-ladder rungs run;
+    # ``triage_preemptions`` counts members cancelled/deferred before
+    # their deadline (short-circuit + progress domination);
+    # ``triage_budget_saved_seconds`` estimates the member-budget
+    # seconds those cancellations avoided burning.
+    triage_ranker_hits: int = 0
+    triage_ladder_stages: int = 0
+    triage_preemptions: int = 0
+    triage_budget_saved_seconds: float = 0.0
 
     @property
     def solver_hit_rate(self) -> float:
@@ -461,6 +473,19 @@ class QueryStats:
                 f"{self.service_retries} retries, "
                 f"{self.service_shed} shed, "
                 f"{self.service_breaker_trips} breaker trips"
+            )
+        if (
+            self.triage_ranker_hits
+            or self.triage_ladder_stages
+            or self.triage_preemptions
+            or self.triage_budget_saved_seconds
+        ):
+            lines.append(
+                "triage:        "
+                f"{self.triage_ranker_hits} ranker hits, "
+                f"{self.triage_ladder_stages} ladder stages, "
+                f"{self.triage_preemptions} preemptions, "
+                f"{self.triage_budget_saved_seconds:.1f}s budget saved"
             )
         return "\n".join(lines)
 

@@ -246,3 +246,44 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "mutex-atomic(2)" in out
         assert "weaver" in out
+
+
+class TestTriageCommands:
+    def test_orders_prints_plan(self, program_file, capsys):
+        assert main(["orders", program_file, "--timeout", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ranked members:" in out
+        assert "seq" in out and "lockstep" in out
+        assert "budget ladder:" in out
+        assert "8.00s" in out  # the final rung is the full budget
+
+    def test_orders_without_budget_has_single_rung(self, program_file, capsys):
+        assert main(["orders", program_file]) == 0
+        assert "budget ladder: [full]" in capsys.readouterr().out
+
+    def test_portfolio_no_triage(self, program_file, capsys):
+        assert main(["portfolio", program_file, "--no-triage"]) == 0
+        assert "portfolio[" in capsys.readouterr().out
+
+    def test_portfolio_triage_counters_in_cache_stats(
+        self, program_file, capsys
+    ):
+        assert main(
+            ["portfolio", program_file, "--timeout", "8",
+             "--show-cache-stats"]
+        ) == 0
+        assert "triage:" in capsys.readouterr().out
+
+    def test_store_inspect_shows_outcome_rows(
+        self, program_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main(
+            ["portfolio", program_file, "--timeout", "8",
+             "--proof-store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "outcome" in out
+        assert "outcome rows (triage advisory):" in out

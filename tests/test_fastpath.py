@@ -248,15 +248,15 @@ def test_alphabet_overflow_falls_back_to_pure_with_warning():
 
 def test_default_engine_env(monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
-    assert default_engine() == "pure"
-    assert VerifierConfig().engine == "pure"
-    monkeypatch.setenv("REPRO_ENGINE", "fast")
     assert default_engine() == "fast"
     assert VerifierConfig().engine == "fast"
-    monkeypatch.setenv("REPRO_ENGINE", " FAST ")  # normalized
-    assert default_engine() == "fast"
-    monkeypatch.setenv("REPRO_ENGINE", "warp")  # unrecognized -> pure
+    monkeypatch.setenv("REPRO_ENGINE", "pure")
     assert default_engine() == "pure"
+    assert VerifierConfig().engine == "pure"
+    monkeypatch.setenv("REPRO_ENGINE", " PURE ")  # normalized
+    assert default_engine() == "pure"
+    monkeypatch.setenv("REPRO_ENGINE", "warp")  # unrecognized -> fast
+    assert default_engine() == "fast"
     assert "pure" in ENGINE_CHOICES and "fast" in ENGINE_CHOICES
 
 

@@ -1,0 +1,265 @@
+"""Portfolio triage tests: feature extraction, ranking determinism,
+the staged budget ladder, the emulated staged wall clock (regression
+for the pre-triage max-over-members bug), the preemption decision
+function, outcome rows in the proof store, and triage-on/off verdict
+differentials for both portfolio strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VerifierConfig
+from repro.benchmarks.bluetooth import bluetooth
+from repro.benchmarks.mutex import dekker
+from repro.store import KIND_OUTCOME, ProofStore
+from repro.verifier import (
+    MemberRanker,
+    Verdict,
+    emulate_staged_wall,
+    extract_features,
+    ladder_stages,
+    plan_portfolio,
+    progress_dominated,
+    standard_orders,
+    verify_portfolio,
+)
+from repro.verifier.triage import (
+    DEFAULT_WEIGHTS,
+    MIN_FIT_ROWS,
+    family_of,
+    fit_weights,
+    order_kind,
+)
+
+
+def config(**kw):
+    base = dict(max_rounds=40)
+    base.update(kw)
+    return VerifierConfig(**base)
+
+
+def cancelled(member):
+    return member.failure_reason and "cancelled" in member.failure_reason
+
+
+class TestFeatures:
+    def test_deterministic(self):
+        program = dekker()
+        orders = standard_orders(program)
+        f1 = extract_features(program, orders)
+        f2 = extract_features(program, orders)
+        assert f1 == f2
+
+    def test_ranges(self):
+        program = dekker()
+        features = extract_features(program, standard_orders(program))
+        assert 0.0 <= features.conflict_density <= 1.0
+        assert 0.0 <= features.guard_density <= 1.0
+        assert features.num_threads == len(program.threads)
+        assert features.alphabet_size == len(program.alphabet())
+
+    def test_dispersion_zero_for_thread_blocked_orders(self):
+        program = dekker()
+        features = extract_features(program, standard_orders(program))
+        assert features.dispersion["seq"] == 0.0
+        assert features.dispersion["lockstep"] == 0.0
+        # random orders shuffle uid-adjacent ranks
+        assert any(
+            v > 0.0 for k, v in features.dispersion.items()
+            if k.startswith("rand")
+        )
+
+
+class TestRanking:
+    def test_plan_deterministic(self):
+        program = bluetooth(2)
+        orders = standard_orders(program)
+        p1 = plan_portfolio(program, orders, time_budget=8.0)
+        p2 = plan_portfolio(program, orders, time_budget=8.0)
+        assert p1.order_names() == p2.order_names()
+        assert [m.score for m in p1.ranked] == [m.score for m in p2.ranked]
+        assert p1.stage_budgets == p2.stage_budgets
+
+    def test_rank_is_total_over_members(self):
+        program = dekker()
+        orders = standard_orders(program)
+        plan = plan_portfolio(program, orders)
+        assert sorted(plan.order_names()) == sorted(o.name for o in orders)
+
+    def test_kind_and_family_helpers(self):
+        assert order_kind("seq") == "seq"
+        assert order_kind("lockstep") == "lockstep"
+        assert order_kind("rand(3)") == "rand"
+        assert family_of("bluetooth(3)") == "bluetooth"
+        assert family_of("bluetooth(4)-bug") == "bluetooth"
+        assert family_of("dekker") == "dekker"
+
+
+class TestLadder:
+    def test_no_budget_single_unbounded_rung(self):
+        assert ladder_stages(None) == [None]
+
+    def test_final_rung_is_full_budget(self):
+        stages = ladder_stages(8.0)
+        assert stages == [2.0, 8.0]
+        assert stages[-1] == 8.0
+
+    def test_slices_monotone(self):
+        stages = ladder_stages(10.0)
+        assert all(a < b for a, b in zip(stages, stages[1:]))
+
+
+class TestStagedWall:
+    """Regression: the sequential emulation's wall clock must model
+    the staged schedule, not plain max-over-members (a ladder member's
+    clock includes the slices burned before its final run)."""
+
+    def test_winner_in_first_stage(self):
+        assert emulate_staged_wall([[1.5, 2.0]], winner=(0, 0.5)) == 0.5
+
+    def test_winner_in_second_stage_pays_first_slice(self):
+        # rung 0 barrier: slowest slice (2.0) gates rung 1; the rung-1
+        # winner at t=0.5 lands at 2.5 — NOT max(member times) = 3.0
+        wall = emulate_staged_wall([[1.0, 2.0], [3.0, 0.5]], winner=(1, 0.5))
+        assert wall == 2.5
+
+    def test_no_winner_sums_stage_maxima(self):
+        assert emulate_staged_wall([[1.0, 2.0], [3.0, 0.5]]) == 5.0
+
+    def test_empty_stages(self):
+        assert emulate_staged_wall([]) == 0.0
+        assert emulate_staged_wall([[]]) == 0.0
+
+
+class TestPreemptionDecision:
+    def test_no_progress_never_preempts(self):
+        assert not progress_dominated(None, leader_rounds=10)
+        assert not progress_dominated({}, leader_rounds=10)
+
+    def test_grace_period(self):
+        trailing = {"elapsed": 0.1, "rounds": 0}
+        assert not progress_dominated(trailing, leader_rounds=10)
+
+    def test_round_gap(self):
+        assert progress_dominated(
+            {"elapsed": 5.0, "rounds": 2}, leader_rounds=5
+        )
+        assert not progress_dominated(
+            {"elapsed": 5.0, "rounds": 3}, leader_rounds=5
+        )
+
+
+class TestFitWeights:
+    def _rows(self, w, xs):
+        return [
+            {"x": list(x), "reward": sum(wi * xi for wi, xi in zip(w, x))}
+            for x in xs
+        ]
+
+    def test_recovers_planted_model(self):
+        planted = (0.5, -1.0, 0.25, 0.0, 0.1)
+        xs = [
+            (1.0, a / 10.0, b / 10.0, t / 8.0, d / 10.0)
+            for a in range(11) for b in range(6)
+            for t, d in ((2, 1), (4, 5), (8, 9))
+        ]
+        fitted = fit_weights(self._rows(planted, xs))
+        assert fitted is not None
+        # ridge shrinks the coefficients; what must survive is the
+        # *prediction* — scores close to the planted model's rewards
+        for x in xs:
+            want = sum(wi * xi for wi, xi in zip(planted, x))
+            got = sum(wi * xi for wi, xi in zip(fitted, x))
+            assert abs(got - want) < 0.12
+
+    def test_deterministic(self):
+        rows = self._rows((1.0, 0.5, 0.0, 0.0, 0.0),
+                          [(1.0, i / 8.0, 0.1, 0.25, 0.0) for i in range(12)])
+        assert fit_weights(rows) == fit_weights(rows)
+
+    def test_empty_rows_give_zero_model(self):
+        assert fit_weights([]) == (0.0,) * len(DEFAULT_WEIGHTS["seq"])
+
+
+class TestOutcomeRows:
+    def test_sequential_run_records_rows(self, tmp_path):
+        store_path = str(tmp_path / "store")
+        outcome = verify_portfolio(
+            dekker(), config(store_path=store_path, time_budget=20.0)
+        )
+        assert outcome.verdict == Verdict.CORRECT
+        store = ProofStore(store_path)
+        rows = list(store.items(KIND_OUTCOME))
+        assert rows, "finished members must append outcome rows"
+        families = store.inspect()["outcome_families"]
+        assert families.get("dekker", 0) >= 1
+
+    def test_ranker_refits_after_enough_rows(self, tmp_path):
+        from repro.store import KIND_OUTCOME as KO
+        from repro.store import pair_digest, program_digest
+
+        store = ProofStore(str(tmp_path / "store"))
+        digest = program_digest(dekker())
+        for i in range(MIN_FIT_ROWS):
+            row = {
+                "family": "dekker",
+                "kind": "seq",
+                "x": [1.0, i / 10.0, 0.2, 0.25, 0.0],
+                "reward": 0.5 + i / 100.0,
+            }
+            store.put(KO, pair_digest(digest, b"outcome", str(i).encode()), row)
+        store.flush()
+        ranker = MemberRanker.for_family(store, "dekker")
+        assert "seq" in ranker.fitted_kinds
+        assert ranker.weights["seq"] != DEFAULT_WEIGHTS["seq"]
+        # other kinds still run on the hand-tuned defaults
+        assert ranker.weights["rand"] == DEFAULT_WEIGHTS["rand"]
+
+
+class TestDifferential:
+    """Triage must never change a verdict — only who runs when."""
+
+    @pytest.mark.parametrize("builder", [dekker, lambda: bluetooth(2)])
+    def test_sequential_verdicts_identical(self, builder):
+        program = builder()
+        triaged = verify_portfolio(program, config(time_budget=30.0))
+        flat = verify_portfolio(
+            program, config(time_budget=30.0, triage=False)
+        )
+        assert triaged.verdict == flat.verdict
+        flat_members = {m.order_name: m for m in flat.members}
+        for member in triaged.members:
+            if cancelled(member):
+                continue  # never ran to completion; nothing to compare
+            other = flat_members[member.order_name]
+            assert member.verdict == other.verdict
+            assert member.rounds == other.rounds
+            assert member.proof_size == other.proof_size
+            assert member.states_explored == other.states_explored
+
+    def test_sequential_emulated_wall_is_staged(self):
+        outcome = verify_portfolio(dekker(), config(time_budget=30.0))
+        assert outcome.emulated_wall_seconds is not None
+        agg = outcome.aggregate()
+        if outcome.solved:
+            assert agg.time_seconds == outcome.emulated_wall_seconds
+
+    def test_triage_counters_surface(self):
+        outcome = verify_portfolio(dekker(), config(time_budget=30.0))
+        agg = outcome.aggregate()
+        qs = agg.query_stats
+        assert qs is not None
+        assert qs.triage_ladder_stages >= 1
+        assert qs.triage_budget_saved_seconds >= 0.0
+        assert "triage:" in qs.summary()
+
+    def test_parallel_verdicts_identical(self):
+        program = dekker()
+        triaged = verify_portfolio(
+            program, config(), strategy="parallel", member_timeout=60.0
+        )
+        flat = verify_portfolio(
+            program, config(triage=False), strategy="parallel",
+            member_timeout=60.0,
+        )
+        assert triaged.verdict == flat.verdict == Verdict.CORRECT

@@ -129,9 +129,11 @@ class TestParallelRuntime:
         assert outcome.winner.counterexample is not None
 
     def test_crash_contained(self):
+        # triage off: winner cancellation must not race the crash we
+        # are asserting on
         plan = FaultPlan.parse("seed=3;seq:crash_at=0")
         outcome = run_parallel_portfolio(
-            simple(), config(), seeds=(1,), fault_plan=plan
+            simple(), config(triage=False), seeds=(1,), fault_plan=plan
         )
         assert outcome.verdict == Verdict.CORRECT
         seq = by_order(outcome)["seq"]
@@ -154,7 +156,7 @@ class TestParallelRuntime:
         # notice the silent death and synthesize the ERROR itself
         plan = FaultPlan.parse("seed=3;seq:exit_at=0")
         outcome = run_parallel_portfolio(
-            simple(), config(), seeds=(1,), fault_plan=plan
+            simple(), config(triage=False), seeds=(1,), fault_plan=plan
         )
         assert outcome.verdict == Verdict.CORRECT
         seq = by_order(outcome)["seq"]
@@ -205,11 +207,13 @@ class TestParallelRuntime:
         assert "no member solved (3 members" in agg.failure_reason
 
     def test_deterministic_fault_outcomes_across_runs(self):
+        # triage off: winner-side cancellation races the injected
+        # faults, so the losers' verdicts would not be repeatable
         plan = FaultPlan.parse("seed=3;seq:crash_at=0;lockstep:oom_at=0")
         verdicts = []
         for _ in range(2):
             outcome = run_parallel_portfolio(
-                simple(), config(), seeds=(1,), fault_plan=plan
+                simple(), config(triage=False), seeds=(1,), fault_plan=plan
             )
             verdicts.append(
                 tuple(sorted((m.order_name, m.verdict.value)
@@ -221,9 +225,11 @@ class TestParallelRuntime:
 
 class TestSequentialContainment:
     def test_sequential_member_crash_contained(self):
+        # triage off: every member must actually run for the crash to
+        # be observed (a triaged run cancels losers after the winner)
         plan = FaultPlan.parse("seed=3;seq:crash_at=0")
         outcome = verify_portfolio(
-            simple(), config(), seeds=(1,), fault_plan=plan
+            simple(), config(triage=False), seeds=(1,), fault_plan=plan
         )
         assert outcome.strategy == "sequential"
         members = by_order(outcome)
@@ -256,10 +262,11 @@ class TestStrategyAgreement:
             program, config(), seeds=(1,), strategy="parallel"
         )
         assert sequential.verdict == parallel.verdict
-        seq_members = {
-            m.order_name: m.verdict for m in sequential.members
-        }
+        seq_members = {m.order_name: m for m in sequential.members}
         for member in parallel.members:
             if member.failure_reason and "cancelled" in member.failure_reason:
                 continue  # cancelled members never got to finish
-            assert member.verdict == seq_members[member.order_name]
+            other = seq_members[member.order_name]
+            if other.failure_reason and "cancelled" in other.failure_reason:
+                continue  # triage cancelled it in the sequential run
+            assert member.verdict == other.verdict
